@@ -1,0 +1,58 @@
+// Ablation — advection scheme (semi-Lagrangian vs clamped MacCormack).
+//
+// The paper's simulation uses standard operator splitting with
+// semi-Lagrangian advection; MacCormack is the common higher-order
+// alternative. This ablation measures: (a) cost per step, (b) numerical
+// dissipation (density mass and peak retention after a fixed run), and
+// (c) the effect on the surrogate's measured quality loss, since a more
+// dissipative baseline flatters approximate solvers.
+
+#include "bench/common.hpp"
+#include "fluid/pcg.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Ablation — advection scheme",
+                "design choice behind paper Algorithm 1 line 4", ctx.cfg);
+
+  const int grid = std::min(64, ctx.cfg.max_grid);
+  util::Table table({"Scheme", "Time/step (ms)", "Final mass",
+                     "Peak density", "Tompson Qloss"});
+
+  for (const auto scheme : {fluid::AdvectionScheme::kSemiLagrangian,
+                            fluid::AdvectionScheme::kMacCormack}) {
+    auto problems = bench::online_problems(ctx, 2, grid, /*tag=*/71);
+    for (auto& p : problems) {
+      p.sim.advection = scheme;
+    }
+    // Reference runs with this scheme.
+    const util::Timer timer;
+    const auto refs = workload::reference_runs(problems);
+    const double ms_per_step =
+        1e3 * timer.seconds() /
+        (static_cast<double>(problems.size()) * ctx.cfg.time_steps);
+
+    double mass = 0.0;
+    double peak = 0.0;
+    for (const auto& r : refs) {
+      mass += r.final_density.sum();
+      peak = std::max(peak, r.final_density.max_abs());
+    }
+    mass /= static_cast<double>(refs.size());
+
+    const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+
+    table.add_row({scheme == fluid::AdvectionScheme::kSemiLagrangian
+                       ? "semi-Lagrangian"
+                       : "MacCormack",
+                   util::fmt(ms_per_step, 2), util::fmt(mass, 1),
+                   util::fmt(peak, 3), util::fmt(tompson.mean_qloss(), 4)});
+  }
+  table.print("Advection ablation (" + std::to_string(grid) + "x" +
+              std::to_string(grid) + "):");
+  std::printf("\nexpected: MacCormack costs ~3x semi-Lagrangian per "
+              "advection but preserves sharper density peaks\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 10 — Speedup over PCG for each Pareto model candidate running
+// alone, compared with Smart-fluidnet.
+//
+// Paper: the 14 candidates span 141x..541x; Smart-fluidnet lands near the
+// median (440x) because it mixes models at runtime. The fastest model M1
+// is 1.18x faster than Smart but meets quality on only 12.52% of inputs;
+// the most accurate M14 matches Smart's quality but is 3.12x slower.
+// Expected shape here: candidates span a range; Smart falls inside it.
+
+#include "bench/common.hpp"
+
+#include <algorithm>
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 10 — per-candidate speedup vs Smart-fluidnet",
+                "Dong et al., SC'19, Figure 10", ctx.cfg);
+
+  const int grid = std::min(48, ctx.cfg.max_grid);
+  const auto problems = bench::online_problems(ctx, 4, grid, /*tag=*/10);
+  const auto refs = workload::reference_runs(problems);
+  const double pcg_mean = bench::mean(bench::pcg_seconds(refs));
+  std::printf("%zu problems, %dx%d grid, PCG mean %.3fs\n\n", problems.size(),
+              grid, grid, pcg_mean);
+
+  // Candidates ordered most- to least-accurate for a readable table.
+  std::vector<std::size_t> order = ctx.artifacts.pareto_ids;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ctx.artifacts.library[a].mean_quality >
+           ctx.artifacts.library[b].mean_quality;
+  });
+
+  util::Table table({"Model", "Origin", "Speedup vs PCG", "Mean Qloss"});
+  std::vector<double> speedups;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const auto& model = ctx.artifacts.library[order[rank]];
+    const auto stats = bench::eval_fixed(model, problems, refs);
+    const double speedup = pcg_mean / stats.mean_seconds();
+    speedups.push_back(speedup);
+    table.add_row({"M" + std::to_string(rank + 1), model.origin,
+                   util::fmt(speedup, 1), util::fmt(stats.mean_qloss(), 4)});
+  }
+
+  // Paper §7.2: the Tompson model's measured averages at this grid are
+  // the user requirement.
+  const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+  core::SessionConfig session;
+  session.quality_requirement = tompson.mean_qloss();
+  const auto smart = bench::eval_smart(ctx.artifacts, problems, refs, session);
+  const double smart_speedup = pcg_mean / smart.mean_seconds();
+  table.add_row({"Smart", "adaptive", util::fmt(smart_speedup, 1),
+                 util::fmt(smart.mean_qloss(), 4)});
+  table.print("Reproduction of Figure 10:");
+
+  const auto [lo, hi] = std::minmax_element(speedups.begin(), speedups.end());
+  std::printf("\ncandidate speedups span [%.1f, %.1f]; Smart at %.1f "
+              "(paper: Smart near the candidates' median)\n",
+              *lo, *hi, smart_speedup);
+  return 0;
+}

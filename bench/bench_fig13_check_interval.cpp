@@ -1,0 +1,56 @@
+// Figure 13 — Impact of the runtime check interval on the success rate.
+//
+// Paper: success decreases as the interval grows (switching reacts too
+// slowly), from ~68% at interval 5 down to ~45% at 20, with a small
+// statistical bump at 16. Expected shape here: interval 5 is best (or
+// tied), and long intervals do not beat it.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 13 — check-interval sensitivity",
+                "Dong et al., SC'19, Figure 13 (and §7.4)", ctx.cfg);
+
+  const int grid = std::min(48, ctx.cfg.max_grid);
+  // Long intervals need a long run to fire at all (paper: 128 steps).
+  ctx.cfg.time_steps = std::max(32, ctx.cfg.time_steps);
+  const auto problems = bench::online_problems(ctx, 8, grid, /*tag=*/13);
+  const auto refs = workload::reference_runs(problems);
+  const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+  // A *tight* target (below Tompson's mean) so the controller genuinely
+  // has to react — the paper's Figure 13 success rates sit at 45-68%,
+  // i.e. its requirement is hard to meet and reaction speed matters.
+  const double q = 0.75 * tompson.mean_qloss();
+  std::printf("%zu problems, %dx%d grid, q = %.4f (0.75x Tompson mean)\n\n",
+              problems.size(), grid, grid, q);
+
+  util::Table table({"Check interval", "Success rate", "Mean time (s)"});
+  double first_rate = -1.0;
+  double last_rate = -1.0;
+  for (const int interval : {5, 8, 10, 14, 16, 20}) {
+    core::SessionConfig session;
+    session.quality_requirement = q;
+    session.controller.predictor.check_interval = interval;
+    const auto smart =
+        bench::eval_smart(ctx.artifacts, problems, refs, session);
+    const double rate = smart.success_rate(q);
+    if (first_rate < 0.0) {
+      first_rate = rate;
+    }
+    last_rate = rate;
+    table.add_row({std::to_string(interval), util::fmt_pct(rate, 1),
+                   util::fmt(smart.mean_seconds(), 3)});
+  }
+  table.print("Reproduction of Figure 13:");
+
+  // One problem flips the rate by 1/n at this scale; the claim to check
+  // is that frequent checking does not *lose* to slow checking.
+  const double granularity = 1.0 / static_cast<double>(problems.size());
+  std::printf("\nshortest interval within one problem of the longest: %s "
+              "(paper: success decreases with the interval; the full "
+              "decline needs the paper's 128-step runs)\n",
+              first_rate + granularity + 1e-9 >= last_rate ? "yes" : "NO");
+  return 0;
+}

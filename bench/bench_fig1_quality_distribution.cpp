@@ -1,0 +1,48 @@
+// Figure 1 — Distribution of quality loss for the Tompson model across
+// input problems.
+//
+// The paper's histogram peaks between Qloss 0.01 and 0.02 and shows that
+// ~65% of problems violate a 0.01 requirement — the observation motivating
+// multiple models. Expected shape here: a unimodal spread with substantial
+// mass above the mean (so a single model cannot satisfy a tight q for all
+// problems).
+
+#include "bench/common.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 1 — Tompson quality-loss distribution",
+                "Dong et al., SC'19, Figure 1", ctx.cfg);
+
+  const int grid = std::min(48, ctx.cfg.max_grid);
+  const auto problems = bench::online_problems(ctx, 24, grid, /*tag=*/2);
+  std::printf("%zu problems, %dx%d grid\n\n", problems.size(), grid, grid);
+
+  const auto refs = workload::reference_runs(problems);
+  const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+
+  const double hi =
+      stats::percentile(tompson.qloss, 100.0) * 1.0001 + 1e-9;
+  const auto hist = stats::histogram(tompson.qloss, 0.0, hi, 10);
+
+  util::Table table({"Qloss bucket", "Proportion of inputs"});
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const double lo = hist.lo + b * hist.bin_width();
+    table.add_row({"[" + util::fmt(lo, 4) + ", " +
+                       util::fmt(lo + hist.bin_width(), 4) + ")",
+                   util::fmt_pct(hist.fraction(b), 1)});
+  }
+  table.print("Reproduction of Figure 1 (histogram of Tompson Qloss):");
+
+  const auto box = stats::boxplot(tompson.qloss);
+  std::printf("\nmean %.4f  median %.4f  [q1 %.4f, q3 %.4f]  max %.4f\n",
+              box.mean, box.median, box.q1, box.q3, box.max);
+  // The paper's headline: with q = mean, a large share of problems fail.
+  const double violation = 1.0 - tompson.success_rate(box.mean);
+  std::printf("problems violating q = mean Qloss: %s (paper: ~65%% for "
+              "q=0.01)\n",
+              util::fmt_pct(violation, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 3 — Scatter of quality loss vs time cost for the generated model
+// family, with the Pareto-selected "model candidates" marked.
+//
+// This bench regenerates the paper's full family: 128 models from the four
+// transformation operations (5 shallow, 50 narrow, 55 pooling, 18 dropout)
+// plus 5 accuracy-searched models = 133 total, trains each briefly,
+// measures (time, Qloss) on a probe problem, and reports the Pareto front
+// (the paper keeps 14 candidates).
+
+#include "bench/common.hpp"
+#include "core/training.hpp"
+#include "modelgen/generator.hpp"
+#include "modelgen/search.hpp"
+#include "stats/pareto.hpp"
+
+#include <algorithm>
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  const auto cfg = util::BenchConfig::from_args(argc, argv);
+  bench::banner("Figure 3 — model family scatter and Pareto front",
+                "Dong et al., SC'19, Figure 3 (and §4 counts)", cfg);
+
+  // Training data from short PCG runs on small problems.
+  workload::ProblemSetParams data_params;
+  data_params.grid = 24;
+  data_params.steps = 16;
+  const auto train_problems =
+      workload::generate_problems(2, data_params, cfg.seed + 31);
+  const auto samples = core::collect_training_data(train_problems, 3);
+
+  // Paper-scale family: 128 transformed + 5 searched = 133 models.
+  util::Rng rng(cfg.seed);
+  auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                          modelgen::GenerationParams{}, rng);
+  core::SurrogateTrainParams quick;
+  quick.epochs = 1;
+  modelgen::SearchParams search;
+  search.models = 5;
+  search.rounds = 2;
+  const auto objective = [&](const modelgen::ArchSpec& spec) {
+    util::Rng probe(cfg.seed ^ 0xf16);
+    auto net = modelgen::build_network(spec, probe);
+    return core::train_surrogate(&net, samples, quick, probe);
+  };
+  for (const auto& spec : modelgen::search_accurate_models(
+           modelgen::tompson_spec(), search, objective, rng)) {
+    family.push_back({spec, "search"});
+  }
+  std::printf("family size: %zu (paper: 133)\n", family.size());
+
+  // Probe problem for (time, quality) measurement.
+  workload::ProblemSetParams probe_params;
+  probe_params.grid = 24;
+  probe_params.steps = 12;
+  const auto probe_problems =
+      workload::generate_problems(1, probe_params, cfg.seed + 32);
+  const auto refs = workload::reference_runs(probe_problems);
+
+  std::printf("training and measuring %zu models...\n\n", family.size());
+  std::vector<stats::ParetoPoint> points;
+  std::vector<std::string> origins;
+  for (std::size_t k = 0; k < family.size(); ++k) {
+    util::Rng model_rng(cfg.seed + k);
+    auto model = core::train_model(family[k].spec, samples, quick, model_rng,
+                                   family[k].origin);
+    core::measure_model(&model, probe_problems, refs);
+    points.push_back({model.mean_seconds, model.mean_quality, k});
+    origins.push_back(family[k].origin);
+  }
+
+  const auto front = stats::pareto_front(points);
+  std::printf("scatter (CSV): model,origin,time_s,qloss,pareto\n");
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const bool on_front =
+        std::find(front.begin(), front.end(), k) != front.end();
+    std::printf("%zu,%s,%.4f,%.5f,%d\n", k, origins[k].c_str(),
+                points[k].cost, points[k].loss, on_front ? 1 : 0);
+  }
+  std::printf("\nPareto candidates: %zu of %zu (paper: 14 of 133)\n",
+              front.size(), points.size());
+
+  // Shape check: the front spans a real time/quality trade-off.
+  double min_cost = points[front.front()].cost;
+  double max_cost = min_cost;
+  double min_loss = points[front.front()].loss;
+  double max_loss = min_loss;
+  for (std::size_t idx : front) {
+    min_cost = std::min(min_cost, points[idx].cost);
+    max_cost = std::max(max_cost, points[idx].cost);
+    min_loss = std::min(min_loss, points[idx].loss);
+    max_loss = std::max(max_loss, points[idx].loss);
+  }
+  std::printf("front spans time [%.4f, %.4f]s and Qloss [%.5f, %.5f]\n",
+              min_cost, max_cost, min_loss, max_loss);
+  return 0;
+}

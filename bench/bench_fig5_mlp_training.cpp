@@ -1,0 +1,74 @@
+// Figure 5 — Training-loss curves of the five candidate MLP topologies.
+//
+// The paper finds MLP3 (48-32-32-16-8-1) converges faster than the
+// shallower MLP1/MLP2 while the deeper MLP4/MLP5 add no significant
+// advantage, and adopts MLP3. Expected shape here: all curves decrease;
+// MLP3's final loss is within noise of the deeper models and below (or
+// equal to) the shallower ones.
+
+#include "bench/common.hpp"
+#include "quality/mlp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 5 — training losses of five MLP topologies",
+                "Dong et al., SC'19, Figure 5 (and §5.2)", ctx.cfg);
+
+  // Labelled samples from the cached Pareto candidates' execution records.
+  std::vector<modelgen::ArchSpec> specs;
+  std::vector<quality::ModelRecords> records;
+  for (std::size_t idx = 0; idx < ctx.artifacts.pareto_ids.size(); ++idx) {
+    const auto& model = ctx.artifacts.library[ctx.artifacts.pareto_ids[idx]];
+    specs.push_back(model.spec);
+    auto r = model.records;
+    r.model_id = idx;
+    records.push_back(std::move(r));
+  }
+  util::Rng rng(ctx.cfg.seed + 55);
+  const auto samples = quality::generate_mlp_samples(records, 300, rng);
+  std::printf("%zu training samples over %zu candidate architectures\n\n",
+              samples.size(), specs.size());
+
+  quality::MlpTrainParams params;
+  params.epochs = 60;
+
+  const quality::MlpTopology topologies[] = {
+      quality::MlpTopology::kMlp1, quality::MlpTopology::kMlp2,
+      quality::MlpTopology::kMlp3, quality::MlpTopology::kMlp4,
+      quality::MlpTopology::kMlp5};
+
+  std::vector<quality::MlpTrainCurve> curves;
+  for (const auto topology : topologies) {
+    util::Rng train_rng(ctx.cfg.seed + 100);
+    curves.push_back(
+        quality::train_mlp(topology, specs, samples, params, train_rng)
+            .curve);
+  }
+
+  util::Table table(
+      {"Epoch", "MLP1", "MLP2", "MLP3", "MLP4", "MLP5"});
+  for (int epoch = 0; epoch < params.epochs; epoch += 5) {
+    std::vector<std::string> row{std::to_string(epoch)};
+    for (const auto& curve : curves) {
+      row.push_back(util::fmt(
+          curve.train_loss[static_cast<std::size_t>(epoch)], 5));
+    }
+    table.add_row(row);
+  }
+  table.print("Reproduction of Figure 5 (training loss every 5 epochs):");
+
+  std::printf("\nfinal training losses:\n");
+  for (std::size_t m = 0; m < curves.size(); ++m) {
+    std::printf("  MLP%zu: %.5f (val %.5f)\n", m + 1,
+                curves[m].train_loss.back(),
+                curves[m].validation_loss.back());
+  }
+  std::printf("\nshape checks: every curve decreased: ");
+  bool all_decreased = true;
+  for (const auto& c : curves) {
+    all_decreased &= c.train_loss.back() < c.train_loss.front();
+  }
+  std::printf("%s\n", all_decreased ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 6 — DivNorm, CumDivNorm and per-step quality loss over the time
+// steps of a neural-approximated simulation, plus the correlation between
+// CumDivNorm and Qloss^ts that justifies the runtime predictor (§6.1).
+//
+// Paper observations to reproduce:
+//   1. DivNorm rises over the first few steps, then stabilises;
+//   2. CumDivNorm and Qloss^ts share an increasing trend;
+//   3. Pearson r = 0.61 and Spearman rho = 0.79 over all (problem, step)
+//      pairs — both "strong association" (> 0.49).
+
+#include "bench/common.hpp"
+#include "core/neural_projection.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "stats/correlation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 6 — CumDivNorm vs per-step quality loss",
+                "Dong et al., SC'19, Figure 6 (and §6.1)", ctx.cfg);
+
+  // Mid-accuracy selected model (an exact surrogate would have DivNorm 0).
+  const auto& ids = ctx.artifacts.selected_ids;
+  const auto& model = ctx.artifacts.library[ids[ids.size() / 2]];
+  std::printf("surrogate: %s (mean Qloss %.4f)\n\n",
+              model.spec.describe().c_str(), model.mean_quality);
+
+  const int grid = std::min(48, ctx.cfg.max_grid);
+  // Long traces show the CumDivNorm trend best (paper runs 128 steps).
+  ctx.cfg.time_steps = std::max(32, ctx.cfg.time_steps);
+  const auto problems = bench::online_problems(ctx, 3, grid, /*tag=*/6);
+
+  std::vector<double> all_cdn;
+  std::vector<double> all_qloss_ts;
+  bool printed_trace = false;
+  for (const auto& problem : problems) {
+    // Lock-step surrogate and reference sims to measure Qloss^ts.
+    auto approx_sim = workload::make_sim(problem);
+    auto ref_sim = workload::make_sim(problem);
+    core::NeuralProjection surrogate(model.net, model.spec.name);
+    fluid::PcgSolver pcg;
+
+    std::vector<double> div_norm;
+    std::vector<double> cum_div_norm;
+    std::vector<double> qloss_ts;
+    for (int step = 0; step < problem.steps; ++step) {
+      const auto t = approx_sim.step(&surrogate);
+      ref_sim.step(&pcg);
+      div_norm.push_back(t.div_norm);
+      cum_div_norm.push_back(t.cum_div_norm);
+      qloss_ts.push_back(
+          fluid::quality_loss(ref_sim.density(), approx_sim.density()));
+    }
+
+    if (!printed_trace) {
+      util::Table table({"Step", "DivNorm", "CumDivNorm", "Qloss^ts"});
+      for (int step = 0; step < problem.steps;
+           step += std::max(1, problem.steps / 16)) {
+        const auto s = static_cast<std::size_t>(step);
+        table.add_row({std::to_string(step), util::fmt_sci(div_norm[s], 2),
+                       util::fmt_sci(cum_div_norm[s], 2),
+                       util::fmt(qloss_ts[s], 5)});
+      }
+      table.print("Per-step trace (first problem):");
+      printed_trace = true;
+    }
+
+    all_cdn.insert(all_cdn.end(), cum_div_norm.begin(), cum_div_norm.end());
+    all_qloss_ts.insert(all_qloss_ts.end(), qloss_ts.begin(),
+                        qloss_ts.end());
+  }
+
+  const double rp = stats::pearson(all_cdn, all_qloss_ts);
+  const double rs = stats::spearman(all_cdn, all_qloss_ts);
+  std::printf("\ncorrelation over %zu (problem, step) pairs:\n",
+              all_cdn.size());
+  std::printf("  Pearson  r   = %.3f (paper: 0.61)\n", rp);
+  std::printf("  Spearman rho = %.3f (paper: 0.79)\n", rs);
+  std::printf("  strong association (> 0.49): %s\n",
+              (rp > 0.49 && rs > 0.49) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8 — Speedup over PCG across grid sizes for the Tompson model and
+// Smart-fluidnet.
+//
+// Paper (GPU vs CPU): speedups up to ~700x, growing with grid size, and
+// Smart-fluidnet 1.46x faster than Tompson on average. Expected shape on
+// equal-hardware CPU: both surrogates beat PCG, the gap widens with the
+// grid (PCG iterations grow with resolution, CNN cost is one pass), and
+// Smart-fluidnet's time is competitive with Tompson's while holding
+// quality (Figure 9 / Table 2 cover the quality side).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Figure 8 — speedup vs PCG across grid sizes",
+                "Dong et al., SC'19, Figure 8", ctx.cfg);
+
+  util::Table table({"Grid", "PCG (s)", "Tompson speedup", "Smart speedup",
+                     "Smart/Tompson"});
+  double tompson_speedup_acc = 0.0;
+  double smart_speedup_acc = 0.0;
+  int grids_measured = 0;
+
+  for (const int grid : bench::grid_sweep(ctx.cfg)) {
+    const auto problems = bench::online_problems(ctx, 4, grid, /*tag=*/8);
+    const auto refs = workload::reference_runs(problems);
+    const double pcg_mean = bench::mean(bench::pcg_seconds(refs));
+
+    const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+
+    core::SessionConfig session;
+    session.quality_requirement = tompson.mean_qloss();
+    const auto smart =
+        bench::eval_smart(ctx.artifacts, problems, refs, session);
+
+    const double tompson_speedup = pcg_mean / tompson.mean_seconds();
+    const double smart_speedup = pcg_mean / smart.mean_seconds();
+    tompson_speedup_acc += tompson_speedup;
+    smart_speedup_acc += smart_speedup;
+    ++grids_measured;
+
+    table.add_row({std::to_string(grid) + "x" + std::to_string(grid),
+                   util::fmt(pcg_mean, 3), util::fmt(tompson_speedup, 1),
+                   util::fmt(smart_speedup, 1),
+                   util::fmt(smart_speedup / tompson_speedup, 2)});
+  }
+  table.print("Reproduction of Figure 8 (mean over problems per grid):");
+
+  std::printf("\nmean Smart/Tompson speedup ratio: %.2f (paper: 1.46x "
+              "average, up to 2.25x)\n",
+              smart_speedup_acc / tompson_speedup_acc);
+  std::printf("speedup grows with grid size: check the speedup columns "
+              "increase down the table\n");
+  return 0;
+}

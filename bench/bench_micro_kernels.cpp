@@ -1,0 +1,126 @@
+// Micro-kernel benchmarks (google-benchmark) for the hot paths every
+// experiment rides on: CNN inference (Conv2D forward), the PCG pressure
+// solve, semi-Lagrangian advection, divergence, and the DivNorm metric.
+//
+// These are the per-kernel numbers behind the macro results: the
+// surrogate wins because one CNN pass costs O(cells) while PCG pays
+// O(cells * iterations), with iterations growing with resolution.
+
+#include "bench/common.hpp"
+#include "core/neural_projection.hpp"
+#include "fluid/advection.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "modelgen/arch_spec.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace sfn;
+
+fluid::FlagGrid make_flags(int n) {
+  fluid::FlagGrid flags(n, n, fluid::CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  return flags;
+}
+
+fluid::GridF make_rhs(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  fluid::GridF rhs(n, n, 0.0f);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    rhs[k] = static_cast<float>(rng.uniform(-0.05, 0.05));
+  }
+  return rhs;
+}
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  auto net = modelgen::build_network(modelgen::tompson_spec(), rng);
+  nn::Tensor input(nn::Shape{2, n, n}, 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(input, false));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.counters["MFLOP"] =
+      static_cast<double>(net.flops(input.shape())) / 1e6;
+}
+BENCHMARK(BM_Conv2DForward)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_PcgSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flags = make_flags(n);
+  const auto rhs = make_rhs(n, 2);
+  fluid::PcgSolver solver;
+  int iterations = 0;
+  for (auto _ : state) {
+    fluid::GridF p(n, n, 0.0f);
+    const auto stats = solver.solve(flags, rhs, &p);
+    iterations = stats.iterations;
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_PcgSolve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_NeuralSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flags = make_flags(n);
+  const auto rhs = make_rhs(n, 3);
+  util::Rng rng(4);
+  core::NeuralProjection solver(
+      modelgen::build_network(modelgen::tompson_spec(), rng));
+  for (auto _ : state) {
+    fluid::GridF p(n, n, 0.0f);
+    solver.solve(flags, rhs, &p);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_NeuralSolve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_Advection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flags = make_flags(n);
+  fluid::MacGrid2 vel(n, n);
+  vel.fill(0.3f, 0.2f);
+  fluid::GridF src(n, n, 0.5f);
+  fluid::GridF dst(n, n, 0.0f);
+  for (auto _ : state) {
+    fluid::advect_scalar(vel, flags, 0.05, src, &dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Advection)->Arg(64)->Arg(128);
+
+void BM_Divergence(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flags = make_flags(n);
+  fluid::MacGrid2 vel(n, n);
+  vel.fill(0.3f, 0.2f);
+  fluid::GridF div(n, n, 0.0f);
+  for (auto _ : state) {
+    fluid::divergence(vel, flags, &div);
+    benchmark::DoNotOptimize(div);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Divergence)->Arg(64)->Arg(128);
+
+void BM_DivNorm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flags = make_flags(n);
+  const auto dist = fluid::solid_distance_field(flags);
+  fluid::MacGrid2 vel(n, n);
+  vel.fill(0.3f, 0.2f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fluid::div_norm(vel, flags, dist, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DivNorm)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 1 — Execution time and simulation quality loss of three methods
+// for solving the Poisson's equation: the exact PCG solver, the Tompson
+// CNN, and the Yang model.
+//
+// Paper values (Titan X GPU, 20,480 problems, grids up to 1024^2):
+//   PCG      2.34e8 ms   exact
+//   Tompson  7.19e4 ms   Qloss 1.3e-2
+//   Yang     3.20e4 ms   Qloss 4.9e-2
+// Expected shape here (CPU, reduced scale): PCG slowest and exact;
+// Yang fastest but with the largest loss; Tompson in between.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Table 1 — solver execution time and quality loss",
+                "Dong et al., SC'19, Table 1", ctx.cfg);
+
+  // Quality ordering is a mean over chaotic rollouts, so favour problem
+  // count over grid size (the paper averages 20,480 problems).
+  const int grid = std::min(48, ctx.cfg.max_grid);
+  const auto problems = bench::online_problems(ctx, 10, grid, /*tag=*/1);
+  std::printf("%zu problems, %dx%d grid, %d steps each\n\n", problems.size(),
+              grid, grid, ctx.cfg.time_steps);
+
+  const auto refs = workload::reference_runs(problems);
+  const auto pcg_times = bench::pcg_seconds(refs);
+  const double pcg_total_ms =
+      1e3 * std::accumulate(pcg_times.begin(), pcg_times.end(), 0.0);
+
+  const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+  const auto yang = bench::eval_fixed(ctx.yang, problems, refs);
+
+  util::Table table({"Method", "Execution Time (ms)", "Avg. Quality Loss"});
+  table.add_row({"PCG", util::fmt_sci(pcg_total_ms, 2), "--"});
+  table.add_row({"Tompson",
+                 util::fmt_sci(1e3 * std::accumulate(tompson.seconds.begin(),
+                                                     tompson.seconds.end(),
+                                                     0.0),
+                               2),
+                 util::fmt_sci(tompson.mean_qloss(), 1)});
+  table.add_row({"Yang",
+                 util::fmt_sci(1e3 * std::accumulate(yang.seconds.begin(),
+                                                     yang.seconds.end(), 0.0),
+                               2),
+                 util::fmt_sci(yang.mean_qloss(), 1)});
+  table.print("Reproduction of Table 1:");
+
+  std::printf("\nShape checks (paper ordering):\n");
+  std::printf("  PCG slower than Tompson: %s\n",
+              pcg_total_ms >
+                      1e3 * tompson.mean_seconds() *
+                          static_cast<double>(problems.size())
+                  ? "yes"
+                  : "NO");
+  std::printf("  Yang faster than Tompson: %s\n",
+              yang.mean_seconds() < tompson.mean_seconds() ? "yes" : "NO");
+  std::printf("  Yang loses more quality than Tompson: %s\n",
+              yang.mean_qloss() > tompson.mean_qloss() ? "yes" : "NO");
+  return 0;
+}

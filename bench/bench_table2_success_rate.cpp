@@ -1,0 +1,50 @@
+// Table 2 — Percentage of input problems whose simulation meets the
+// quality requirement, Tompson vs Smart-fluidnet, per grid size.
+//
+// Paper values: Tompson 46-85% depending on the grid (worst at 1024^2
+// with 46.38%); Smart-fluidnet 86-91% everywhere, up to +44.67 points.
+// Expected shape here: Smart-fluidnet's success rate is at least
+// Tompson's on every grid, with the requirement set to Tompson's own
+// mean quality loss as in the paper.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Table 2 — success rate of meeting the quality requirement",
+                "Dong et al., SC'19, Table 2", ctx.cfg);
+
+  util::Table table({"Grid", "q (target)", "Tompson", "Smart-fluidnet"});
+  int smart_wins = 0;
+  int grids = 0;
+
+  for (const int grid : bench::grid_sweep(ctx.cfg)) {
+    const auto problems = bench::online_problems(ctx, 8, grid, /*tag=*/22);
+    const auto refs = workload::reference_runs(problems);
+
+    const auto tompson = bench::eval_fixed(ctx.tompson, problems, refs);
+    const double q = tompson.mean_qloss();
+
+    core::SessionConfig session;
+    session.quality_requirement = q;
+    const auto smart =
+        bench::eval_smart(ctx.artifacts, problems, refs, session);
+
+    table.add_row({std::to_string(grid) + "x" + std::to_string(grid),
+                   util::fmt(q, 4),
+                   util::fmt_pct(tompson.success_rate(q), 1),
+                   util::fmt_pct(smart.success_rate(q), 1)});
+    ++grids;
+    if (smart.success_rate(q) >= tompson.success_rate(q)) {
+      ++smart_wins;
+    }
+  }
+  table.print("Reproduction of Table 2 (q = Tompson's mean Qloss per "
+              "grid):");
+
+  std::printf("\nSmart-fluidnet >= Tompson on %d/%d grids (paper: all "
+              "grids, by up to 44.67 points)\n",
+              smart_wins, grids);
+  return 0;
+}

@@ -1,0 +1,267 @@
+#include "bench/common.hpp"
+
+#include "core/training.hpp"
+#include "fluid/operators.hpp"
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+namespace sfn::bench {
+
+namespace {
+
+std::filesystem::path cache_dir() {
+  const char* env = std::getenv("SMARTFLUIDNET_CACHE_DIR");
+  return env != nullptr && *env != '\0' ? std::filesystem::path(env)
+                                        : std::filesystem::path("sfn_bench_cache");
+}
+
+void save_trained_model(const core::TrainedModel& model,
+                        const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  core::save_spec(model.spec, out);
+  model.net.save(out);
+  nn::io::write_string(out, model.origin);
+  nn::io::write_f64(out, model.train_loss);
+  nn::io::write_f64(out, model.mean_seconds);
+  nn::io::write_f64(out, model.mean_quality);
+}
+
+core::TrainedModel load_trained_model(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  core::TrainedModel model;
+  model.spec = core::load_spec(in);
+  model.net = nn::Network::load(in);
+  model.origin = nn::io::read_string(in);
+  model.train_loss = nn::io::read_f64(in);
+  model.mean_seconds = nn::io::read_f64(in);
+  model.mean_quality = nn::io::read_f64(in);
+  return model;
+}
+
+}  // namespace
+
+core::OfflineConfig offline_config(const util::BenchConfig& cfg) {
+  core::OfflineConfig c;
+  // A reduced family (39 derived + 3 searched models) keeps the cached
+  // offline phase around a minute on a laptop-class CPU; the Figure 3
+  // bench regenerates the paper's full 133-model family itself.
+  c.generation.shallow_models = 3;
+  c.generation.narrow_variants_per_model = 4;
+  c.generation.dropout_models = 6;
+  c.search.models = 3;
+  c.search.rounds = 4;
+  c.training.epochs = 8;
+  c.grid = 24;
+  c.train_problems = 6;
+  c.train_steps = 24;
+  c.sample_stride = 3;
+  c.eval_problems = 6;
+  c.eval_steps = 16;
+  c.db_problems = 24;
+  c.db_steps = 16;
+  c.mlp_samples_per_model = 200;
+  c.mlp_training.epochs = 80;
+  c.seed = cfg.seed;
+  return c;
+}
+
+Context load_context(int argc, char** argv) {
+  Context ctx;
+  ctx.cfg = util::BenchConfig::from_args(argc, argv);
+  const auto dir = cache_dir();
+  const auto artifacts_file = dir / "artifacts.bin";
+  const auto tompson_file = dir / "tompson.model";
+  const auto yang_file = dir / "yang.model";
+
+  if (std::filesystem::exists(artifacts_file) &&
+      std::filesystem::exists(tompson_file) &&
+      std::filesystem::exists(yang_file)) {
+    ctx.artifacts = core::load_artifacts(dir);
+    ctx.tompson = load_trained_model(tompson_file);
+    ctx.yang = load_trained_model(yang_file);
+    std::printf("[bench] loaded cached offline artifacts from %s "
+                "(%zu models, %zu selected)\n",
+                dir.string().c_str(), ctx.artifacts.library.size(),
+                ctx.artifacts.selected_ids.size());
+    return ctx;
+  }
+
+  std::printf("[bench] building offline artifacts (one-time, cached in %s)"
+              "...\n",
+              dir.string().c_str());
+  const auto config = offline_config(ctx.cfg);
+  util::Rng rng(config.seed ^ 0xbe9c);
+
+  // Baselines first: the paper derives the user requirement U(q, t) from
+  // the Tompson model's measured averages.
+  workload::ProblemSetParams data_params;
+  data_params.grid = config.grid;
+  data_params.steps = config.train_steps;
+  auto train_problems = workload::generate_problems(
+      config.train_problems, data_params, config.seed * 7919 + 1);
+  if (config.multires_training) {
+    // Mirror run_offline_pipeline's multi-resolution mix so the Tompson
+    // and Yang baselines train on the same data distribution.
+    for (std::size_t p = 0; p < train_problems.size(); p += 2) {
+      train_problems[p].nx *= 2;
+      train_problems[p].ny *= 2;
+    }
+  }
+  const auto samples =
+      core::collect_training_data(train_problems, config.sample_stride);
+
+  // The Tompson reference gets a generous training budget (it is "the
+  // state of the art" being compared against); the Yang baseline keeps
+  // the standard budget — in the paper it is the fast-but-inaccurate
+  // prior method (3.8x worse quality than Tompson in Table 1), and its
+  // *position* in the time/quality trade-off is what we reproduce.
+  core::SurrogateTrainParams tompson_train = config.training;
+  tompson_train.epochs = 5 * config.training.epochs;
+  ctx.tompson = core::train_model(modelgen::tompson_spec(), samples,
+                                  tompson_train, rng, "tompson");
+  ctx.yang = core::train_model(modelgen::yang_spec(), samples,
+                               config.training, rng, "yang");
+
+  workload::ProblemSetParams eval_params = data_params;
+  eval_params.steps = config.eval_steps;
+  auto eval_problems = workload::generate_problems(
+      config.eval_problems, eval_params, config.seed * 7919 + 2);
+  if (config.multires_training) {
+    // Mirror run_offline_pipeline's multi-resolution measurement.
+    for (std::size_t p = 0; p < eval_problems.size(); p += 2) {
+      eval_problems[p].nx *= 2;
+      eval_problems[p].ny *= 2;
+    }
+  }
+  const auto refs = workload::reference_runs(eval_problems);
+  core::measure_model(&ctx.tompson, eval_problems, refs);
+  core::measure_model(&ctx.yang, eval_problems, refs);
+
+  double pcg_mean = 0.0;
+  for (const auto& r : refs) {
+    pcg_mean += r.total_seconds;
+  }
+  pcg_mean /= static_cast<double>(refs.size());
+
+  // U(q, t): the Tompson model's mean quality loss as the quality target
+  // (paper §7.1) and a time budget between the surrogate's and PCG's.
+  core::UserRequirement requirement;
+  requirement.quality_loss = ctx.tompson.mean_quality;
+  requirement.seconds = 0.5 * (ctx.tompson.mean_seconds + pcg_mean);
+
+  ctx.artifacts = core::run_offline_pipeline(config, requirement);
+
+  std::filesystem::create_directories(dir);
+  core::save_artifacts(ctx.artifacts, dir);
+  save_trained_model(ctx.tompson, tompson_file);
+  save_trained_model(ctx.yang, yang_file);
+  std::printf("[bench] offline phase done: %zu models, %zu Pareto, %zu "
+              "selected; q=%.4f t=%.3fs\n",
+              ctx.artifacts.library.size(), ctx.artifacts.pareto_ids.size(),
+              ctx.artifacts.selected_ids.size(), requirement.quality_loss,
+              requirement.seconds);
+  return ctx;
+}
+
+std::vector<workload::InputProblem> online_problems(const Context& ctx,
+                                                    int count, int grid,
+                                                    std::uint64_t tag) {
+  workload::ProblemSetParams params;
+  params.grid = grid;
+  params.steps = ctx.cfg.time_steps;
+  return workload::generate_problems(count * ctx.cfg.scale, params,
+                                     ctx.cfg.seed * 104729 + tag);
+}
+
+std::vector<int> grid_sweep(const util::BenchConfig& cfg) {
+  std::vector<int> grids;
+  for (int g : {32, 48, 64, 96, 128}) {
+    if (g <= cfg.max_grid) {
+      grids.push_back(g);
+    }
+  }
+  return grids;
+}
+
+double MethodStats::mean_seconds() const { return mean(seconds); }
+double MethodStats::mean_qloss() const { return mean(qloss); }
+
+double MethodStats::success_rate(double q) const {
+  if (qloss.empty()) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (double v : qloss) {
+    if (v <= q) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(qloss.size());
+}
+
+MethodStats eval_fixed(const core::TrainedModel& model,
+                       const std::vector<workload::InputProblem>& problems,
+                       const std::vector<workload::RunResult>& refs) {
+  MethodStats stats;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto result = core::run_fixed(problems[i], model);
+    stats.seconds.push_back(result.seconds);
+    stats.qloss.push_back(fluid::quality_loss(refs[i].final_density,
+                                              result.final_density));
+  }
+  return stats;
+}
+
+MethodStats eval_smart(const core::OfflineArtifacts& artifacts,
+                       const std::vector<workload::InputProblem>& problems,
+                       const std::vector<workload::RunResult>& refs,
+                       const core::SessionConfig& config) {
+  MethodStats stats;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto result = core::run_adaptive(problems[i], artifacts, config);
+    stats.seconds.push_back(result.seconds);
+    stats.qloss.push_back(fluid::quality_loss(refs[i].final_density,
+                                              result.final_density));
+  }
+  return stats;
+}
+
+std::vector<double> pcg_seconds(
+    const std::vector<workload::RunResult>& refs) {
+  std::vector<double> out;
+  out.reserve(refs.size());
+  for (const auto& r : refs) {
+    out.push_back(r.total_seconds);
+  }
+  return out;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+void banner(const std::string& experiment, const std::string& paper_ref,
+            const util::BenchConfig& cfg) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale=%d max_grid=%d steps=%d seed=%llu\n", cfg.scale,
+              cfg.max_grid, cfg.time_steps, cfg.seed);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace sfn::bench

@@ -1,0 +1,76 @@
+#pragma once
+
+#include "core/persistence.hpp"
+#include "core/smart_fluidnet.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+#include <string>
+#include <vector>
+
+/// Shared infrastructure for the benchmark suite. Every bench binary
+/// reproduces one table or figure from the paper; they all share one
+/// offline phase (model family + MLP + quality database), built once and
+/// cached on disk under SMARTFLUIDNET_CACHE_DIR (default
+/// ./sfn_bench_cache) so the suite does not re-train per binary.
+namespace sfn::bench {
+
+struct Context {
+  util::BenchConfig cfg;
+  core::OfflineArtifacts artifacts;
+  /// Dedicated single-model baselines trained on the same data: the
+  /// Tompson-style reference CNN and the cheaper Yang-style model.
+  core::TrainedModel tompson;
+  core::TrainedModel yang;
+};
+
+/// Offline configuration used to build the cached artifacts.
+core::OfflineConfig offline_config(const util::BenchConfig& cfg);
+
+/// Load the cached context, or build and cache it (prints progress).
+Context load_context(int argc, char** argv);
+
+/// Deterministic online problem set at a given grid (distinct from the
+/// offline sets; `tag` decorrelates problem sets across benches).
+std::vector<workload::InputProblem> online_problems(const Context& ctx,
+                                                    int count, int grid,
+                                                    std::uint64_t tag);
+
+/// Grid sizes swept by the evaluation benches (paper: 128^2..1024^2;
+/// here 32^2..cfg.max_grid^2, all multiples of 4 for pooled models).
+std::vector<int> grid_sweep(const util::BenchConfig& cfg);
+
+/// Per-problem measurements of one method.
+struct MethodStats {
+  std::vector<double> seconds;
+  std::vector<double> qloss;
+
+  [[nodiscard]] double mean_seconds() const;
+  [[nodiscard]] double mean_qloss() const;
+  /// Fraction of problems with qloss <= q.
+  [[nodiscard]] double success_rate(double q) const;
+};
+
+/// Evaluate one fixed surrogate over problems against PCG references.
+MethodStats eval_fixed(const core::TrainedModel& model,
+                       const std::vector<workload::InputProblem>& problems,
+                       const std::vector<workload::RunResult>& refs);
+
+/// Evaluate the adaptive runtime; optionally override the controller
+/// configuration and the per-run quality requirement.
+MethodStats eval_smart(const core::OfflineArtifacts& artifacts,
+                       const std::vector<workload::InputProblem>& problems,
+                       const std::vector<workload::RunResult>& refs,
+                       const core::SessionConfig& config = {});
+
+/// Wall time of the PCG runs themselves.
+std::vector<double> pcg_seconds(const std::vector<workload::RunResult>& refs);
+
+/// Mean of a vector (0 for empty).
+double mean(const std::vector<double>& xs);
+
+/// Print the standard bench banner (config, cache state, paper pointer).
+void banner(const std::string& experiment, const std::string& paper_ref,
+            const util::BenchConfig& cfg);
+
+}  // namespace sfn::bench

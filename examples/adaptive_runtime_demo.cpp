@@ -1,0 +1,95 @@
+// Adaptive-runtime scenario: a step-by-step trace of the quality-aware
+// model-switch algorithm (paper §6, Algorithm 2, and the worked example of
+// Figure 7).
+//
+// The demo prepares a small model library, then runs one problem while
+// printing, at every check interval, the extrapolated CumDivNorm_final,
+// the KNN-predicted final quality loss, the decision taken, and which
+// surrogate is active. It finishes with the per-model time distribution
+// (the paper's Table 3 view) and the realised quality loss.
+//
+// Usage: ./examples/adaptive_runtime_demo [--steps=48]
+
+#include "core/persistence.hpp"
+#include "core/smart_fluidnet.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <map>
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  const auto cfg = util::BenchConfig::from_args(argc, argv);
+
+  core::OfflineConfig config = core::OfflineConfig::tiny();
+  config.generation.shallow_models = 3;
+  config.generation.narrow_variants_per_model = 4;
+  config.generation.dropout_models = 4;
+  config.training.epochs = 3;
+  config.eval_problems = 4;
+  config.db_problems = 10;
+  config.seed = cfg.seed;
+  const core::UserRequirement requirement{0.06, 30.0};
+
+  std::printf("Preparing model library...\n");
+  const auto artifacts = core::SmartFluidnet::prepare(config, requirement);
+
+  std::printf("Selected runtime models (fast -> accurate):\n");
+  util::Table models({"Library id", "Origin", "Mean Qloss", "Mean time (s)",
+                      "MLP prob."});
+  for (std::size_t idx = 0; idx < artifacts.scores.size(); ++idx) {
+    if (!artifacts.scores[idx].selected) {
+      continue;
+    }
+    const auto id = artifacts.pareto_ids[idx];
+    const auto& m = artifacts.library[id];
+    models.add_row({std::to_string(id), m.origin,
+                    util::fmt(m.mean_quality, 4),
+                    util::fmt(m.mean_seconds, 3),
+                    util::fmt(artifacts.scores[idx].success_probability, 3)});
+  }
+  models.print();
+
+  workload::ProblemSetParams params;
+  params.grid = 32;
+  params.steps = cfg.time_steps;
+  const auto problems = workload::generate_problems(1, params, cfg.seed + 7);
+  const auto& problem = problems.front();
+
+  std::printf("\nAdaptive run (%d steps, q = %.3f):\n", problem.steps,
+              requirement.quality_loss);
+  const auto result = core::SmartFluidnet::simulate(problem, artifacts);
+
+  if (result.events.empty()) {
+    std::printf("  no check points fired (run too short)\n");
+  }
+  for (const auto& e : result.events) {
+    std::printf("  step %3d: Q'loss = %.4f -> %-16s (candidate %zu -> %zu)\n",
+                e.step, e.predicted_quality,
+                runtime::to_string(e.decision).c_str(), e.from_candidate,
+                e.to_candidate);
+  }
+
+  std::printf("\nTime distribution over models (Table 3 view):\n");
+  double total = 0.0;
+  for (const auto& [id, seconds] : result.seconds_per_model) {
+    total += seconds;
+  }
+  for (const auto& [id, seconds] : result.seconds_per_model) {
+    std::printf("  model %2zu: %5.1f%%  (%.3fs)\n", id,
+                100.0 * seconds / total, seconds);
+  }
+
+  // Realised quality against the exact reference.
+  fluid::PcgSolver pcg;
+  const auto reference = workload::run_simulation(problem, &pcg);
+  const double qloss =
+      fluid::quality_loss(reference.final_density, result.final_density);
+  std::printf("\nRealised quality loss: %.4f (requirement %.4f)%s\n", qloss,
+              requirement.quality_loss,
+              result.restarted_with_pcg ? "  [restarted with PCG]" : "");
+  return 0;
+}

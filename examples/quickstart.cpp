@@ -1,0 +1,99 @@
+// Quickstart: the full Smart-fluidnet workflow in one file.
+//
+// 1. Run the offline phase once: transform the Tompson-style base CNN into
+//    a family of surrogates, Pareto-filter, train the success-rate MLP,
+//    select the runtime set, and build the quality database.
+// 2. Simulate a new input problem three ways — exact PCG, the single
+//    Tompson-style surrogate, and the adaptive runtime — and compare
+//    execution time and simulation quality (paper Eq. 3).
+//
+// Build & run:  ./examples/quickstart
+
+#include "core/neural_projection.hpp"
+#include "core/smart_fluidnet.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace sfn;
+
+  // ---- Offline phase (done once; scale kept small for a quick demo) ----
+  core::OfflineConfig config = core::OfflineConfig::tiny();
+  config.generation.shallow_models = 3;
+  config.generation.narrow_variants_per_model = 3;
+  config.eval_problems = 3;
+  config.training.epochs = 3;
+
+  // The user requirement U(q, t): final quality loss below q, wall time
+  // below t seconds (paper §5).
+  const core::UserRequirement requirement{0.08, 30.0};
+
+  std::printf("Running offline phase (model construction + selection)...\n");
+  util::Timer offline_timer;
+  const auto artifacts = core::SmartFluidnet::prepare(config, requirement);
+  std::printf("  %zu models trained, %zu on the Pareto front, %zu selected "
+              "(%.1fs)\n\n",
+              artifacts.library.size(), artifacts.pareto_ids.size(),
+              artifacts.selected_ids.size(), offline_timer.seconds());
+
+  // ---- Online phase: a brand-new input problem --------------------------
+  workload::ProblemSetParams problem_params;
+  problem_params.grid = 32;
+  problem_params.steps = 32;
+  const auto problems = workload::generate_problems(1, problem_params, 2024);
+  const auto& problem = problems.front();
+
+  // Exact reference (mantaflow's MICCG(0) equivalent).
+  util::Timer timer;
+  fluid::PcgSolver pcg;
+  const auto reference = workload::run_simulation(problem, &pcg);
+  const double pcg_seconds = timer.seconds();
+
+  // Single fixed surrogate (the Tompson-style state of the art): pick the
+  // most accurate model in the library as the stand-in.
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < artifacts.library.size(); ++m) {
+    if (artifacts.library[m].mean_quality <
+        artifacts.library[best].mean_quality) {
+      best = m;
+    }
+  }
+  timer.reset();
+  const auto fixed = core::run_fixed(problem, artifacts.library[best]);
+  const double fixed_seconds = timer.seconds();
+  const double fixed_qloss =
+      fluid::quality_loss(reference.final_density, fixed.final_density);
+
+  // Adaptive Smart-fluidnet run (Algorithm 2).
+  timer.reset();
+  const auto adaptive = core::SmartFluidnet::simulate(problem, artifacts);
+  const double adaptive_seconds = timer.seconds();
+  const double adaptive_qloss =
+      fluid::quality_loss(reference.final_density, adaptive.final_density);
+
+  util::Table table({"Method", "Time (s)", "Speedup vs PCG", "Qloss"});
+  table.add_row({"PCG (exact)", util::fmt(pcg_seconds, 3), "1.00", "0"});
+  table.add_row({"Fixed surrogate", util::fmt(fixed_seconds, 3),
+                 util::fmt(pcg_seconds / fixed_seconds, 1),
+                 util::fmt(fixed_qloss, 4)});
+  table.add_row({"Smart-fluidnet", util::fmt(adaptive_seconds, 3),
+                 util::fmt(pcg_seconds / adaptive_seconds, 1),
+                 util::fmt(adaptive_qloss, 4)});
+  table.print("Quickstart results (32x32 plume, 32 steps):");
+
+  std::printf("\nModel switches during the adaptive run: %zu\n",
+              adaptive.events.size());
+  for (const auto& e : adaptive.events) {
+    std::printf("  step %3d: %-16s (predicted Qloss %.4f)\n", e.step,
+                runtime::to_string(e.decision).c_str(), e.predicted_quality);
+  }
+  if (adaptive.restarted_with_pcg) {
+    std::printf("  -> the run was restarted with PCG (quality unreachable "
+                "with any surrogate)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "modelgen/arch_spec.hpp"
+#include "nn/network.hpp"
+#include "quality/records.hpp"
+
+#include <string>
+#include <vector>
+
+namespace sfn::core {
+
+/// A trained surrogate together with its offline measurements — the unit
+/// the Pareto filter, the MLP and the runtime all operate on.
+struct TrainedModel {
+  modelgen::ArchSpec spec;
+  nn::Network net;
+  std::string origin;         ///< Which §4 operation (or search) made it.
+  double train_loss = 0.0;    ///< Final-epoch supervised loss.
+  double mean_seconds = 0.0;  ///< Mean full-simulation wall time.
+  double mean_quality = 0.0;  ///< Mean Qloss vs the PCG reference.
+  quality::ModelRecords records;  ///< Per-problem execution records.
+};
+
+/// The full trained family (133 models at paper scale).
+struct ModelLibrary {
+  std::vector<TrainedModel> models;
+
+  [[nodiscard]] std::size_t size() const { return models.size(); }
+  [[nodiscard]] const TrainedModel& operator[](std::size_t i) const {
+    return models[i];
+  }
+  [[nodiscard]] TrainedModel& operator[](std::size_t i) { return models[i]; }
+};
+
+}  // namespace sfn::core

@@ -1,0 +1,86 @@
+#include "core/neural_projection.hpp"
+
+#include "util/timer.hpp"
+
+#include <cmath>
+
+namespace sfn::core {
+
+nn::Tensor encode_solver_input(const fluid::FlagGrid& flags,
+                               const fluid::GridF& rhs, double* inv_scale) {
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  nn::Tensor input(nn::Shape{2, ny, nx});
+
+  // RMS scale over fluid cells: robust to single-cell outliers (a max
+  // scale lets one spike shrink the whole input out of the training
+  // distribution). The factor 3 keeps typical magnitudes near the max
+  // normalisation the early prototypes used.
+  double sum_sq = 0.0;
+  int fluid_cells = 0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags.is_fluid(i, j)) {
+        const double v = rhs(i, j);
+        if (std::isfinite(v)) {
+          sum_sq += v * v;
+          ++fluid_cells;
+        }
+      }
+    }
+  }
+  constexpr double kMinScale = 1e-8;
+  double s = fluid_cells > 0 ? 3.0 * std::sqrt(sum_sq / fluid_cells) : 0.0;
+  s = std::max(s, kMinScale);
+  const auto inv = static_cast<float>(1.0 / s);
+  *inv_scale = 1.0 / s;
+
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const float r = rhs(i, j);
+      input.at(0, j, i) =
+          (flags.is_fluid(i, j) && std::isfinite(r)) ? r * inv : 0.0f;
+      float geom = 1.0f;
+      if (flags.is_solid(i, j)) geom = 0.0f;
+      else if (flags.is_empty(i, j)) geom = 0.5f;
+      input.at(1, j, i) = geom;
+    }
+  }
+  return input;
+}
+
+NeuralProjection::NeuralProjection(nn::Network net, std::string name)
+    : net_(std::move(net)), name_(std::move(name)) {}
+
+fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
+                                          const fluid::GridF& rhs,
+                                          fluid::GridF* pressure) {
+  const util::Timer timer;
+  fluid::SolveStats stats;
+
+  double inv_scale = 1.0;
+  const nn::Tensor input = encode_solver_input(flags, rhs, &inv_scale);
+  const nn::Tensor output = net_.forward(input, /*train=*/false);
+
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  const auto scale = static_cast<float>(1.0 / inv_scale);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      // Sanitise: a surrogate must never inject non-finite values into
+      // the simulation (downstream advection assumes finite velocities).
+      const float v = output.at(0, j, i) * scale;
+      (*pressure)(i, j) =
+          (flags.is_fluid(i, j) && std::isfinite(v)) ? v : 0.0f;
+    }
+  }
+
+  stats.iterations = 1;
+  stats.converged = true;
+  stats.residual = 0.0;  // Not measured: that is the surrogate's point.
+  stats.flops = net_.flops(input.shape());
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace sfn::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "fluid/poisson.hpp"
+#include "nn/network.hpp"
+
+#include <string>
+
+namespace sfn::core {
+
+/// Adapter that plugs a convolutional surrogate into the fluid solver as a
+/// drop-in PoissonSolver (paper Eq. 4: p-hat = f_conv(div u*, g; W)).
+///
+/// Input encoding (must match training, see core/training.*):
+///   channel 0 — rhs (= -divergence) divided by its max-abs `s`, exploiting
+///               the linearity of A p = b for scale invariance;
+///   channel 1 — geometry: 0 solid, 1 fluid, 0.5 empty.
+/// The network's single output channel times `s` is the pressure.
+class NeuralProjection final : public fluid::PoissonSolver {
+ public:
+  NeuralProjection(nn::Network net, std::string name = "neural");
+
+  fluid::SolveStats solve(const fluid::FlagGrid& flags,
+                          const fluid::GridF& rhs,
+                          fluid::GridF* pressure) override;
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] nn::Network& network() { return net_; }
+
+ private:
+  nn::Network net_;
+  std::string name_;
+};
+
+/// Build the 2-channel network input from solver state; `inv_scale`
+/// receives 1/s so callers can rescale the prediction. Shared by
+/// NeuralProjection and the trainer so encodings can never diverge.
+nn::Tensor encode_solver_input(const fluid::FlagGrid& flags,
+                               const fluid::GridF& rhs, double* inv_scale);
+
+}  // namespace sfn::core

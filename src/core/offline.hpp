@@ -1,0 +1,89 @@
+#pragma once
+
+#include "core/model_library.hpp"
+#include "core/training.hpp"
+#include "modelgen/generator.hpp"
+#include "modelgen/search.hpp"
+#include "quality/mlp.hpp"
+#include "quality/selector.hpp"
+#include "runtime/predictor.hpp"
+#include "workload/evaluate.hpp"
+
+#include <memory>
+
+namespace sfn::core {
+
+/// User requirement U(q, t) (paper §5): the simulation's final quality
+/// loss must stay below `quality_loss` and its wall time below `seconds`.
+struct UserRequirement {
+  double quality_loss = 0.02;
+  double seconds = 10.0;
+};
+
+/// Everything the offline phase is parameterised by. Defaults are sized
+/// for a CPU box; `paper_scale()` restores the paper's counts and
+/// `tiny()` is for unit tests.
+struct OfflineConfig {
+  modelgen::GenerationParams generation;
+  modelgen::SearchParams search;
+  SurrogateTrainParams training;
+
+  int grid = 32;              ///< Offline grid edge (paper uses small
+                              ///< problems offline for the same reason).
+  /// Mine half the training problems at 2x the offline grid so the
+  /// fully-convolutional surrogates see the statistics of larger grids
+  /// (they are evaluated at up to 1024^2 in the paper, all sizes here).
+  bool multires_training = true;
+  int train_problems = 3;     ///< Problems mined for training samples.
+  int train_steps = 24;
+  int sample_stride = 3;      ///< Snapshot every N steps.
+  int eval_problems = 6;      ///< Problems for execution records.
+  int eval_steps = 24;
+  int db_problems = 12;       ///< Small problems for the KNN database.
+  int db_steps = 24;
+  int mlp_samples_per_model = 150;
+  quality::MlpTrainParams mlp_training;
+  quality::MlpTopology mlp_topology = quality::MlpTopology::kMlp3;
+  std::size_t max_selected = 5;
+  std::uint64_t seed = 1234;
+
+  /// Unit-test scale: a handful of models, 16x16 grids.
+  static OfflineConfig tiny();
+  /// The paper's counts (133 models, 5 shallow x 10 narrow, 18 dropout).
+  static OfflineConfig paper_scale();
+};
+
+/// Output of the offline phase; owns the trained family, the Pareto
+/// candidates, the MLP predictor, the runtime model set and the KNN
+/// quality database (Figure 2's full offline workflow).
+struct OfflineArtifacts {
+  ModelLibrary library;
+  std::vector<std::size_t> pareto_ids;     ///< "model candidates" (paper: 14).
+  std::vector<std::size_t> selected_ids;   ///< Runtime set (paper: ~5).
+  std::vector<quality::CandidateScore> scores;  ///< MLP/Eq. 8 scoring.
+  std::unique_ptr<quality::SuccessPredictor> predictor;
+  quality::MlpTrainCurve mlp_curve;
+  runtime::QualityDatabase quality_db;
+  double pcg_mean_seconds = 0.0;  ///< T' of Eq. 8 at offline scale.
+  UserRequirement requirement;
+};
+
+/// Run the complete offline phase: collect data, search + transform the
+/// model family, train and measure every model, Pareto-filter, train the
+/// MLP, apply Eq. 8 selection, and build the KNN quality database.
+OfflineArtifacts run_offline_pipeline(const OfflineConfig& config,
+                                      const UserRequirement& requirement);
+
+/// Train one spec into a TrainedModel (without measurements); exposed for
+/// baselines and tests.
+TrainedModel train_model(const modelgen::ArchSpec& spec,
+                         const std::vector<TrainingSample>& samples,
+                         const SurrogateTrainParams& params, util::Rng& rng,
+                         std::string origin = "manual");
+
+/// Measure a trained model over a problem set: fills records/means.
+void measure_model(TrainedModel* model,
+                   const std::vector<workload::InputProblem>& problems,
+                   const std::vector<workload::RunResult>& references);
+
+}  // namespace sfn::core

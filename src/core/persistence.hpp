@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/offline.hpp"
+
+#include <filesystem>
+
+namespace sfn::core {
+
+/// Persist the complete offline phase to a directory so the expensive
+/// model-construction step (paper §4-§5) runs once and every benchmark or
+/// application session can reload it: specs + weights for every model,
+/// execution records, Pareto/selection sets, the trained MLP and the KNN
+/// quality database.
+void save_artifacts(const OfflineArtifacts& artifacts,
+                    const std::filesystem::path& dir);
+
+/// Reload artifacts saved by save_artifacts. Throws on missing files or
+/// format mismatch.
+OfflineArtifacts load_artifacts(const std::filesystem::path& dir);
+
+/// Serialize a single ArchSpec (exposed for tests).
+void save_spec(const modelgen::ArchSpec& spec, std::ostream& out);
+modelgen::ArchSpec load_spec(std::istream& in);
+
+}  // namespace sfn::core

@@ -1,0 +1,105 @@
+#include "core/session.hpp"
+
+#include "core/neural_projection.hpp"
+#include "fluid/pcg.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfn::core {
+
+SessionResult run_adaptive(const workload::InputProblem& problem,
+                           const OfflineArtifacts& artifacts,
+                           const SessionConfig& config) {
+  if (artifacts.selected_ids.empty()) {
+    throw std::invalid_argument("run_adaptive: no selected models");
+  }
+  const util::Timer total_timer;
+  SessionResult result;
+
+  // Candidates ordered least-accurate -> most-accurate: that is the axis
+  // Algorithm 2 walks ("faster" one way, "more accurate" the other).
+  std::vector<std::size_t> order = artifacts.selected_ids;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return artifacts.library[a].mean_quality >
+           artifacts.library[b].mean_quality;
+  });
+
+  std::vector<runtime::RuntimeCandidate> candidates;
+  std::vector<std::unique_ptr<NeuralProjection>> solvers;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const auto& model = artifacts.library[order[pos]];
+    runtime::RuntimeCandidate c;
+    c.model_id = order[pos];
+    c.mean_seconds = model.mean_seconds;
+    c.mean_quality = model.mean_quality;
+    // Probability from the offline scoring (scores are indexed against the
+    // Pareto set; find this model's entry).
+    c.probability = 0.5;
+    for (std::size_t s = 0; s < artifacts.scores.size(); ++s) {
+      if (artifacts.pareto_ids[s] == order[pos]) {
+        c.probability = artifacts.scores[s].success_probability;
+        break;
+      }
+    }
+    candidates.push_back(c);
+    solvers.push_back(
+        std::make_unique<NeuralProjection>(model.net, model.spec.name));
+  }
+
+  const double quality_requirement = config.quality_requirement.value_or(
+      artifacts.requirement.quality_loss);
+  runtime::ModelSwitchController controller(config.controller, candidates,
+                                            &artifacts.quality_db,
+                                            quality_requirement,
+                                            problem.steps);
+
+  fluid::SmokeSim sim = workload::make_sim(problem);
+  result.model_per_step.reserve(static_cast<std::size_t>(problem.steps));
+  for (int step = 0; step < problem.steps; ++step) {
+    const std::size_t pos = controller.current_candidate();
+    const std::size_t model_id = candidates[pos].model_id;
+    const util::Timer step_timer;
+    const auto telemetry = sim.step(solvers[pos].get());
+    result.seconds_per_model[model_id] += step_timer.seconds();
+    result.model_per_step.push_back(model_id);
+
+    const auto decision = controller.on_step(step, telemetry.cum_div_norm);
+    if (decision == runtime::Decision::kRestartPcg) {
+      break;
+    }
+  }
+  result.events = controller.events();
+
+  if (controller.restart_requested()) {
+    // Algorithm 2 line 16: no model can meet q — redo the whole problem
+    // with the exact solver. The aborted neural time stays in the bill,
+    // which is exactly the risk Eq. 8's selection prices in.
+    result.restarted_with_pcg = true;
+    fluid::PcgSolver pcg;
+    const auto run = workload::run_simulation(problem, &pcg);
+    result.final_density = run.final_density;
+  } else {
+    result.final_density = sim.density();
+  }
+
+  result.seconds = total_timer.seconds();
+  return result;
+}
+
+SessionResult run_fixed(const workload::InputProblem& problem,
+                        const TrainedModel& model) {
+  const util::Timer timer;
+  SessionResult result;
+  NeuralProjection solver(model.net, model.spec.name);
+  const auto run = workload::run_simulation(problem, &solver);
+  result.final_density = run.final_density;
+  result.seconds = timer.seconds();
+  result.seconds_per_model[model.records.model_id] = result.seconds;
+  result.model_per_step.assign(static_cast<std::size_t>(problem.steps),
+                               model.records.model_id);
+  return result;
+}
+
+}  // namespace sfn::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "core/offline.hpp"
+#include "runtime/controller.hpp"
+
+#include <map>
+#include <optional>
+
+namespace sfn::core {
+
+/// Configuration of the online phase.
+struct SessionConfig {
+  runtime::ControllerParams controller;
+  /// Override the quality-loss requirement for this run (defaults to the
+  /// requirement the artifacts were prepared with). The evaluation sweeps
+  /// set this per grid size, mirroring the paper's use of the Tompson
+  /// model's measured mean loss as the target.
+  std::optional<double> quality_requirement;
+};
+
+/// Outcome of one adaptive simulation (paper §6.2, Algorithm 2).
+struct SessionResult {
+  fluid::GridF final_density;
+  double seconds = 0.0;           ///< Total wall time incl. any restart.
+  bool restarted_with_pcg = false;
+  std::vector<runtime::SwitchEvent> events;
+  /// Wall time attributed to each library model id (paper Table 3).
+  std::map<std::size_t, double> seconds_per_model;
+  /// Library model id used at each step.
+  std::vector<std::size_t> model_per_step;
+};
+
+/// Run one problem under the quality-aware runtime: start on the
+/// highest-probability selected model, check the predicted final quality
+/// every interval, switch models (or restart with PCG) per Algorithm 2.
+SessionResult run_adaptive(const workload::InputProblem& problem,
+                           const OfflineArtifacts& artifacts,
+                           const SessionConfig& config = {});
+
+/// Run one problem with a single fixed surrogate (no switching) — the
+/// "Tompson-style" baseline mode used across the evaluation figures.
+SessionResult run_fixed(const workload::InputProblem& problem,
+                        const TrainedModel& model);
+
+}  // namespace sfn::core

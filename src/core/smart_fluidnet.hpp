@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/offline.hpp"
+#include "core/session.hpp"
+
+namespace sfn::core {
+
+/// Public facade of the framework (paper Figure 2). Typical use:
+///
+///   auto artifacts = SmartFluidnet::prepare(OfflineConfig{}, {0.02, 5.0});
+///   auto result = SmartFluidnet::simulate(problem, artifacts);
+///
+/// `prepare` runs the whole offline phase once (model construction,
+/// Pareto filtering, MLP training, Eq. 8 selection, quality database);
+/// `simulate` runs one input problem under the quality-aware runtime.
+class SmartFluidnet {
+ public:
+  static OfflineArtifacts prepare(const OfflineConfig& config,
+                                  const UserRequirement& requirement) {
+    return run_offline_pipeline(config, requirement);
+  }
+
+  static SessionResult simulate(const workload::InputProblem& problem,
+                                const OfflineArtifacts& artifacts,
+                                const SessionConfig& config = {}) {
+    return run_adaptive(problem, artifacts, config);
+  }
+};
+
+}  // namespace sfn::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "workload/problems.hpp"
+
+#include <vector>
+
+namespace sfn::core {
+
+/// One supervised training sample captured from a PCG-driven simulation:
+/// the solver input state and the exact pressure PCG produced for it.
+struct TrainingSample {
+  fluid::FlagGrid flags;
+  fluid::GridF rhs;       ///< b = -div(u*), the solve's right-hand side.
+  fluid::GridF pressure;  ///< PCG solution (the supervised target).
+};
+
+/// Run PCG simulations over `problems` and snapshot (rhs, pressure) every
+/// `stride` steps. This is the dataset generation step the paper performs
+/// with mantaflow.
+std::vector<TrainingSample> collect_training_data(
+    const std::vector<workload::InputProblem>& problems, int stride = 4);
+
+struct SurrogateTrainParams {
+  /// Training objective. The paper's reference model trains unsupervised
+  /// on DivNorm (Eq. 5) — the weighted L2 norm of the residual divergence
+  /// after the velocity update — which only asks the network for the
+  /// components of the pressure that matter for incompressibility. A
+  /// supervised MSE against PCG pressure is also provided; it performs
+  /// markedly worse because the exact pressure carries huge-amplitude
+  /// smooth modes that a small local CNN cannot represent.
+  enum class Objective { kDivNorm, kPressureMse };
+  Objective objective = Objective::kDivNorm;
+  int epochs = 16;
+  int batch_size = 1;
+  double learning_rate = 1e-2;
+  int divnorm_weight_k = 3;
+};
+
+/// Train a surrogate on the samples with the configured objective, both
+/// evaluated in the normalised (scale-invariant) space that
+/// encode_solver_input defines. Returns the final-epoch mean loss.
+double train_surrogate(nn::Network* net,
+                       const std::vector<TrainingSample>& samples,
+                       const SurrogateTrainParams& params, util::Rng& rng);
+
+/// The paper's unsupervised objective (Eq. 5) evaluated on a pressure
+/// prediction: DivNorm = sum_i w_i * r_i^2 where r = A p-hat - rhs is the
+/// residual divergence after the velocity update and w_i = max(1, k - d_i)
+/// weights cells near solids. Returns loss value and dLoss/dp-hat
+/// (= 2 A (w .* r), using A's symmetry). Gradient checked in tests.
+nn::LossResult divnorm_loss(const fluid::FlagGrid& flags,
+                            const fluid::GridF& rhs,
+                            const nn::Tensor& pressure_pred, int weight_k = 3);
+
+}  // namespace sfn::core

@@ -1,0 +1,119 @@
+#include "fluid/advection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfn::fluid {
+
+namespace {
+
+/// RK2 (midpoint) backtrace in cell space. `pos` are cell-space
+/// coordinates where (i + 0.5, j + 0.5) is the centre of cell (i, j);
+/// `cells_per_unit` converts world velocities into cells per time unit.
+std::pair<double, double> backtrace(const MacGrid2& vel, double x, double y,
+                                    double dt, double cells_per_unit) {
+  const auto [u1, v1] = vel.sample(x, y);
+  const double mx = x - 0.5 * dt * u1 * cells_per_unit;
+  const double my = y - 0.5 * dt * v1 * cells_per_unit;
+  const auto [u2, v2] = vel.sample(mx, my);
+  return {x - dt * u2 * cells_per_unit, y - dt * v2 * cells_per_unit};
+}
+
+/// Clamp a MacCormack-corrected value to the bilinear stencil extrema of
+/// the first-pass sample, which restores unconditional stability.
+float clamp_to_stencil(const GridF& grid, double gx, double gy, float value) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const int i0 = std::clamp(static_cast<int>(std::floor(gx)), 0, nx - 1);
+  const int j0 = std::clamp(static_cast<int>(std::floor(gy)), 0, ny - 1);
+  const int i1 = std::min(i0 + 1, nx - 1);
+  const int j1 = std::min(j0 + 1, ny - 1);
+  float lo = grid(i0, j0);
+  float hi = lo;
+  for (const int i : {i0, i1}) {
+    for (const int j : {j0, j1}) {
+      lo = std::min(lo, grid(i, j));
+      hi = std::max(hi, grid(i, j));
+    }
+  }
+  return std::clamp(value, lo, hi);
+}
+
+/// Generic semi-Lagrangian pass over a sampled grid. `offset_x/y` position
+/// sample (i, j) at (i + offset_x, j + offset_y) in cell space.
+void semi_lagrangian(const MacGrid2& vel, double dt, double cells_per_unit,
+                     const GridF& src, GridF* dst, double offset_x,
+                     double offset_y) {
+  const int nx = src.nx();
+  const int ny = src.ny();
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double x = i + offset_x;
+      const double y = j + offset_y;
+      const auto [sx, sy] = backtrace(vel, x, y, dt, cells_per_unit);
+      (*dst)(i, j) = src.interpolate(sx - offset_x, sy - offset_y);
+    }
+  }
+}
+
+void maccormack(const MacGrid2& vel, double dt, double cells_per_unit,
+                const GridF& src, GridF* dst, double offset_x,
+                double offset_y) {
+  const int nx = src.nx();
+  const int ny = src.ny();
+  GridF forward(nx, ny, 0.0f);
+  GridF back(nx, ny, 0.0f);
+  semi_lagrangian(vel, dt, cells_per_unit, src, &forward, offset_x, offset_y);
+  semi_lagrangian(vel, -dt, cells_per_unit, forward, &back, offset_x,
+                  offset_y);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const float corrected =
+          forward(i, j) + 0.5f * (src(i, j) - back(i, j));
+      const double x = i + offset_x;
+      const double y = j + offset_y;
+      const auto [sx, sy] = backtrace(vel, x, y, dt, cells_per_unit);
+      (*dst)(i, j) =
+          clamp_to_stencil(src, sx - offset_x, sy - offset_y, corrected);
+    }
+  }
+}
+
+void advect_grid(const MacGrid2& vel, double dt, double cells_per_unit,
+                 const GridF& src, GridF* dst, double offset_x,
+                 double offset_y, AdvectionScheme scheme) {
+  if (scheme == AdvectionScheme::kMacCormack) {
+    maccormack(vel, dt, cells_per_unit, src, dst, offset_x, offset_y);
+  } else {
+    semi_lagrangian(vel, dt, cells_per_unit, src, dst, offset_x, offset_y);
+  }
+}
+
+}  // namespace
+
+void advect_scalar(const MacGrid2& vel, const FlagGrid& flags, double dt,
+                   const GridF& src, GridF* dst, AdvectionScheme scheme) {
+  const double cells_per_unit = static_cast<double>(vel.nx());
+  advect_grid(vel, dt, cells_per_unit, src, dst, 0.5, 0.5, scheme);
+  // Solids keep their previous (typically zero) value.
+  for (int j = 0; j < dst->ny(); ++j) {
+    for (int i = 0; i < dst->nx(); ++i) {
+      if (flags.is_solid(i, j)) {
+        (*dst)(i, j) = src(i, j);
+      }
+    }
+  }
+}
+
+void advect_velocity(const MacGrid2& vel, const FlagGrid& flags, double dt,
+                     MacGrid2* dst, AdvectionScheme scheme) {
+  const double cells_per_unit = static_cast<double>(vel.nx());
+  // u faces sit at (i, j + 0.5) in cell space, v faces at (i + 0.5, j).
+  advect_grid(vel, dt, cells_per_unit, vel.u(), &dst->u(), 0.0, 0.5, scheme);
+  advect_grid(vel, dt, cells_per_unit, vel.v(), &dst->v(), 0.5, 0.0, scheme);
+  dst->enforce_solid_boundaries(flags);
+}
+
+}  // namespace sfn::fluid

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+#include "fluid/mac_grid.hpp"
+
+namespace sfn::fluid {
+
+enum class AdvectionScheme {
+  kSemiLagrangian,  ///< First-order backtrace with RK2 path integration.
+  kMacCormack,      ///< Second-order with extrema clamping.
+};
+
+/// Advect a cell-centred scalar field through `vel` for time `dt`.
+///
+/// Velocities are in world units over a unit-width domain; `dt` is world
+/// time. The backtrace converts to cell space internally so the same
+/// physical problem advects identically at any resolution. Cells inside
+/// solids are left unchanged.
+void advect_scalar(const MacGrid2& vel, const FlagGrid& flags, double dt,
+                   const GridF& src, GridF* dst,
+                   AdvectionScheme scheme = AdvectionScheme::kSemiLagrangian);
+
+/// Advect the MAC velocity field through itself (self-advection),
+/// component by component at each face's own sample position.
+void advect_velocity(const MacGrid2& vel, const FlagGrid& flags, double dt,
+                     MacGrid2* dst,
+                     AdvectionScheme scheme = AdvectionScheme::kSemiLagrangian);
+
+}  // namespace sfn::fluid

@@ -1,0 +1,73 @@
+#include "fluid/flags.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace sfn::fluid {
+
+void FlagGrid::set_smoke_box_boundary() {
+  const int nx = cells_.nx();
+  const int ny = cells_.ny();
+  for (int j = 0; j < ny; ++j) {
+    cells_(0, j) = CellType::kSolid;
+    cells_(nx - 1, j) = CellType::kSolid;
+  }
+  for (int i = 0; i < nx; ++i) {
+    cells_(i, 0) = CellType::kSolid;
+  }
+  for (int i = 1; i < nx - 1; ++i) {
+    cells_(i, ny - 1) = CellType::kEmpty;
+  }
+}
+
+int FlagGrid::count_fluid() const {
+  int count = 0;
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    if (cells_[k] == CellType::kFluid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Grid2<int> solid_distance_field(const FlagGrid& flags) {
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  Grid2<int> dist(nx, ny, std::numeric_limits<int>::max());
+  std::deque<std::pair<int, int>> queue;
+
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags.at(i, j) == CellType::kSolid) {
+        dist(i, j) = 0;
+        queue.emplace_back(i, j);
+      }
+    }
+  }
+  // No solids at all: define distance as a large constant everywhere.
+  if (queue.empty()) {
+    dist.fill(nx + ny);
+    return dist;
+  }
+
+  constexpr int kDx[4] = {1, -1, 0, 0};
+  constexpr int kDy[4] = {0, 0, 1, -1};
+  while (!queue.empty()) {
+    const auto [i, j] = queue.front();
+    queue.pop_front();
+    for (int d = 0; d < 4; ++d) {
+      const int ni = i + kDx[d];
+      const int nj = j + kDy[d];
+      if (ni < 0 || ni >= nx || nj < 0 || nj >= ny) {
+        continue;
+      }
+      if (dist(ni, nj) > dist(i, j) + 1) {
+        dist(ni, nj) = dist(i, j) + 1;
+        queue.emplace_back(ni, nj);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace sfn::fluid

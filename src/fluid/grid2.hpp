@@ -1,0 +1,104 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfn::fluid {
+
+/// Dense 2-D scalar grid in row-major (j-major) layout.
+///
+/// Cell (i, j) has its centre at ((i + 0.5) * dx, (j + 0.5) * dx) in world
+/// space where dx = 1 / nx keeps the domain width at 1 regardless of
+/// resolution, so the same physical problem can be run at any grid size
+/// (the paper sweeps 128^2 .. 1024^2).
+template <typename T>
+class Grid2 {
+ public:
+  Grid2() = default;
+  Grid2(int nx, int ny, T value = T{})
+      : nx_(nx), ny_(ny), data_(static_cast<std::size_t>(nx) * ny, value) {
+    assert(nx > 0 && ny > 0);
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] bool inside(int i, int j) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_;
+  }
+
+  [[nodiscard]] std::size_t index(int i, int j) const {
+    assert(inside(i, j));
+    return static_cast<std::size_t>(j) * nx_ + i;
+  }
+
+  T& operator()(int i, int j) { return data_[index(i, j)]; }
+  const T& operator()(int i, int j) const { return data_[index(i, j)]; }
+
+  T& operator[](std::size_t k) { return data_[k]; }
+  const T& operator[](std::size_t k) const { return data_[k]; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] std::span<T> data() { return data_; }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+
+  /// Clamped read: out-of-range indices are clamped to the border cell.
+  [[nodiscard]] T at_clamped(int i, int j) const {
+    i = std::clamp(i, 0, nx_ - 1);
+    j = std::clamp(j, 0, ny_ - 1);
+    return (*this)(i, j);
+  }
+
+  /// Bilinear interpolation at grid-space position (x, y) where integer
+  /// coordinates coincide with cell indices, i.e. the sample lattice of
+  /// this grid. Callers convert world/staggered offsets before calling.
+  [[nodiscard]] T interpolate(double x, double y) const {
+    x = std::clamp(x, 0.0, static_cast<double>(nx_ - 1));
+    y = std::clamp(y, 0.0, static_cast<double>(ny_ - 1));
+    const int i0 = std::min(static_cast<int>(x), nx_ - 2 >= 0 ? nx_ - 2 : 0);
+    const int j0 = std::min(static_cast<int>(y), ny_ - 2 >= 0 ? ny_ - 2 : 0);
+    const int i1 = std::min(i0 + 1, nx_ - 1);
+    const int j1 = std::min(j0 + 1, ny_ - 1);
+    const double fx = x - i0;
+    const double fy = y - j0;
+    const double v00 = (*this)(i0, j0);
+    const double v10 = (*this)(i1, j0);
+    const double v01 = (*this)(i0, j1);
+    const double v11 = (*this)(i1, j1);
+    const double v0 = v00 + fx * (v10 - v00);
+    const double v1 = v01 + fx * (v11 - v01);
+    return static_cast<T>(v0 + fy * (v1 - v0));
+  }
+
+  /// Sum of all cells in double precision.
+  [[nodiscard]] double sum() const {
+    double acc = 0.0;
+    for (const T& v : data_) acc += static_cast<double>(v);
+    return acc;
+  }
+
+  /// Maximum absolute value.
+  [[nodiscard]] double max_abs() const {
+    double m = 0.0;
+    for (const T& v : data_) m = std::max(m, std::abs(static_cast<double>(v)));
+    return m;
+  }
+
+  bool operator==(const Grid2&) const = default;
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+using GridF = Grid2<float>;
+using GridD = Grid2<double>;
+
+}  // namespace sfn::fluid

@@ -1,0 +1,23 @@
+#include "fluid/mac_grid.hpp"
+
+namespace sfn::fluid {
+
+void MacGrid2::enforce_solid_boundaries(const FlagGrid& flags) {
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i <= nx_; ++i) {
+      // Face between cells (i-1, j) and (i, j); out-of-range is solid.
+      if (flags.is_solid(i - 1, j) || flags.is_solid(i, j)) {
+        u_(i, j) = 0.0f;
+      }
+    }
+  }
+  for (int j = 0; j <= ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      if (flags.is_solid(i, j - 1) || flags.is_solid(i, j)) {
+        v_(i, j) = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace sfn::fluid

@@ -1,0 +1,158 @@
+#include "fluid/operators.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfn::fluid {
+
+void divergence(const MacGrid2& vel, const FlagGrid& flags, GridF* out) {
+  const int nx = vel.nx();
+  const int ny = vel.ny();
+  assert(out->nx() == nx && out->ny() == ny);
+  const GridF& u = vel.u();
+  const GridF& v = vel.v();
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        (*out)(i, j) = 0.0f;
+        continue;
+      }
+      (*out)(i, j) = (u(i + 1, j) - u(i, j)) + (v(i, j + 1) - v(i, j));
+    }
+  }
+}
+
+void subtract_pressure_gradient(const GridF& pressure, const FlagGrid& flags,
+                                MacGrid2* vel) {
+  const int nx = vel->nx();
+  const int ny = vel->ny();
+  GridF& u = vel->u();
+  GridF& v = vel->v();
+
+  auto p_at = [&](int i, int j) -> float {
+    // Empty cells carry Dirichlet p = 0; solids are handled by the caller
+    // zeroing face velocities, so their value is never used.
+    if (flags.is_fluid(i, j)) {
+      return pressure(i, j);
+    }
+    return 0.0f;
+  };
+
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 1; i < nx; ++i) {
+      const bool left_solid = flags.is_solid(i - 1, j);
+      const bool right_solid = flags.is_solid(i, j);
+      if (left_solid || right_solid) {
+        continue;  // Face velocity pinned by the solid boundary.
+      }
+      if (flags.is_fluid(i - 1, j) || flags.is_fluid(i, j)) {
+        u(i, j) -= p_at(i, j) - p_at(i - 1, j);
+      }
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (int j = 1; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const bool down_solid = flags.is_solid(i, j - 1);
+      const bool up_solid = flags.is_solid(i, j);
+      if (down_solid || up_solid) {
+        continue;
+      }
+      if (flags.is_fluid(i, j - 1) || flags.is_fluid(i, j)) {
+        v(i, j) -= p_at(i, j) - p_at(i, j - 1);
+      }
+    }
+  }
+}
+
+void apply_pressure_laplacian(const GridF& p, const FlagGrid& flags,
+                              GridF* out) {
+  const int nx = p.nx();
+  const int ny = p.ny();
+  assert(out->nx() == nx && out->ny() == ny);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        (*out)(i, j) = p(i, j);
+        continue;
+      }
+      float diag = 0.0f;
+      float off = 0.0f;
+      auto visit = [&](int ni, int nj) {
+        if (flags.is_solid(ni, nj)) {
+          return;  // Neumann: no coupling, no diagonal contribution.
+        }
+        diag += 1.0f;  // Fluid or empty neighbour.
+        if (flags.is_fluid(ni, nj)) {
+          off += p(ni, nj);
+        }
+        // Empty neighbour: Dirichlet p = 0, diagonal only.
+      };
+      visit(i + 1, j);
+      visit(i - 1, j);
+      visit(i, j + 1);
+      visit(i, j - 1);
+      (*out)(i, j) = diag * p(i, j) - off;
+    }
+  }
+}
+
+double div_norm(const MacGrid2& vel, const FlagGrid& flags,
+                const Grid2<int>& solid_distance, int weight_k) {
+  const int nx = vel.nx();
+  const int ny = vel.ny();
+  const GridF& u = vel.u();
+  const GridF& v = vel.v();
+  double acc = 0.0;
+  long long fluid_cells = 0;
+#pragma omp parallel for schedule(static) reduction(+ : acc, fluid_cells)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        continue;
+      }
+      ++fluid_cells;
+      const double d = (u(i + 1, j) - u(i, j)) + (v(i, j + 1) - v(i, j));
+      const double w =
+          std::max(1.0, static_cast<double>(weight_k - solid_distance(i, j)));
+      acc += w * d * d;
+    }
+  }
+  return fluid_cells > 0 ? acc / static_cast<double>(fluid_cells) : 0.0;
+}
+
+double max_divergence(const MacGrid2& vel, const FlagGrid& flags) {
+  const int nx = vel.nx();
+  const int ny = vel.ny();
+  const GridF& u = vel.u();
+  const GridF& v = vel.v();
+  double m = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        continue;
+      }
+      const double d = (u(i + 1, j) - u(i, j)) + (v(i, j + 1) - v(i, j));
+      m = std::max(m, std::abs(d));
+    }
+  }
+  return m;
+}
+
+double quality_loss(const GridF& reference, const GridF& approx) {
+  if (reference.nx() != approx.nx() || reference.ny() != approx.ny()) {
+    throw std::invalid_argument("quality_loss: grid size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    acc += std::abs(static_cast<double>(approx[k]) -
+                    static_cast<double>(reference[k]));
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+}  // namespace sfn::fluid

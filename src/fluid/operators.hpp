@@ -1,0 +1,45 @@
+#pragma once
+
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+#include "fluid/mac_grid.hpp"
+
+namespace sfn::fluid {
+
+/// Discrete divergence of a MAC velocity field, per cell, in grid units:
+/// div(i,j) = u(i+1,j) - u(i,j) + v(i,j+1) - v(i,j). Non-fluid cells get 0.
+void divergence(const MacGrid2& vel, const FlagGrid& flags, GridF* out);
+
+/// Subtract the discrete pressure gradient from the velocity field
+/// (Algorithm 1 line 18 with dt/rho folded into p): across each face
+/// between two fluid cells, u -= p(right) - p(left). Faces adjacent to
+/// empty cells use p = 0 on the empty side; faces touching solids are
+/// left for enforce_solid_boundaries.
+void subtract_pressure_gradient(const GridF& pressure, const FlagGrid& flags,
+                                MacGrid2* vel);
+
+/// Apply the (negated) 5-point pressure Laplacian A = -L with the flag-aware
+/// stencil used by all solvers: for each fluid cell, diag = #non-solid
+/// neighbours, off-diag -1 towards fluid neighbours, empty neighbours
+/// contribute only to the diagonal (Dirichlet p = 0). Non-fluid rows are
+/// identity rows (out = in) so the operator is invertible on the full grid.
+void apply_pressure_laplacian(const GridF& p, const FlagGrid& flags,
+                              GridF* out);
+
+/// Weighted squared L2 norm of the divergence over fluid cells — the
+/// paper's DivNorm objective (Eq. 5) with w_i = max(1, k - d_i), d_i the
+/// solid distance field — normalised by the fluid-cell count. The paper
+/// sums over cells; normalising makes the metric comparable across grid
+/// sizes, which the runtime needs because its KNN quality database is
+/// built on small offline problems and queried on larger online ones.
+double div_norm(const MacGrid2& vel, const FlagGrid& flags,
+                const Grid2<int>& solid_distance, int weight_k = 3);
+
+/// Unweighted max |div| over fluid cells, for convergence reporting.
+double max_divergence(const MacGrid2& vel, const FlagGrid& flags);
+
+/// Mean absolute difference over all cells — the paper's quality-loss
+/// metric Qloss (Eq. 3) between two density fields.
+double quality_loss(const GridF& reference, const GridF& approx);
+
+}  // namespace sfn::fluid

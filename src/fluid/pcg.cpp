@@ -1,0 +1,310 @@
+#include "fluid/pcg.hpp"
+
+#include "fluid/operators.hpp"
+#include "util/timer.hpp"
+
+#include <cmath>
+
+namespace sfn::fluid {
+
+namespace {
+
+/// A_plusi(i,j) = -1 iff cells (i,j) and (i+1,j) are both fluid. We only
+/// ever need the boolean, so helpers return 0/1 "coupled" flags.
+bool coupled_x(const FlagGrid& flags, int i, int j) {
+  return flags.is_fluid(i, j) && flags.is_fluid(i + 1, j);
+}
+bool coupled_y(const FlagGrid& flags, int i, int j) {
+  return flags.is_fluid(i, j) && flags.is_fluid(i, j + 1);
+}
+
+double diag_entry(const FlagGrid& flags, int i, int j) {
+  double diag = 0.0;
+  if (!flags.is_solid(i + 1, j)) diag += 1.0;
+  if (!flags.is_solid(i - 1, j)) diag += 1.0;
+  if (!flags.is_solid(i, j + 1)) diag += 1.0;
+  if (!flags.is_solid(i, j - 1)) diag += 1.0;
+  return diag;
+}
+
+void apply_a(const FlagGrid& flags, const GridD& p, GridD* out) {
+  const int nx = p.nx();
+  const int ny = p.ny();
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        (*out)(i, j) = 0.0;
+        continue;
+      }
+      double acc = diag_entry(flags, i, j) * p(i, j);
+      if (flags.is_fluid(i + 1, j)) acc -= p(i + 1, j);
+      if (flags.is_fluid(i - 1, j)) acc -= p(i - 1, j);
+      if (flags.is_fluid(i, j + 1)) acc -= p(i, j + 1);
+      if (flags.is_fluid(i, j - 1)) acc -= p(i, j - 1);
+      (*out)(i, j) = acc;
+    }
+  }
+}
+
+double dot(const FlagGrid& flags, const GridD& a, const GridD& b) {
+  const int nx = a.nx();
+  const int ny = a.ny();
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags.is_fluid(i, j)) {
+        acc += a(i, j) * b(i, j);
+      }
+    }
+  }
+  return acc;
+}
+
+double max_abs(const FlagGrid& flags, const GridD& a) {
+  const int nx = a.nx();
+  const int ny = a.ny();
+  double m = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags.is_fluid(i, j)) {
+        m = std::max(m, std::abs(a(i, j)));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void PcgSolver::build_preconditioner(const FlagGrid& flags) {
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  precond_diag_ = GridD(nx, ny, 0.0);
+  if (params_.preconditioner == Preconditioner::kJacobi) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (flags.is_fluid(i, j)) {
+          const double d = diag_entry(flags, i, j);
+          precond_diag_(i, j) = d > 0.0 ? 1.0 / d : 0.0;
+        }
+      }
+    }
+    return;
+  }
+
+  // Incomplete Cholesky: precond stores 1/sqrt of the modified diagonal.
+  const double tau =
+      params_.preconditioner == Preconditioner::kMIC0 ? params_.mic_tau : 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        continue;
+      }
+      const double adiag = diag_entry(flags, i, j);
+      double e = adiag;
+      if (i > 0 && coupled_x(flags, i - 1, j)) {
+        const double px = precond_diag_(i - 1, j);  // -1 * px is L entry.
+        e -= px * px;
+        if (tau > 0.0 && coupled_y(flags, i - 1, j)) {
+          e -= tau * (px * px);
+        }
+      }
+      if (j > 0 && coupled_y(flags, i, j - 1)) {
+        const double py = precond_diag_(i, j - 1);
+        e -= py * py;
+        if (tau > 0.0 && coupled_x(flags, i, j - 1)) {
+          e -= tau * (py * py);
+        }
+      }
+      if (e < params_.mic_sigma * adiag) {
+        e = adiag;  // Safety fallback keeps the factor positive definite.
+      }
+      precond_diag_(i, j) = e > 0.0 ? 1.0 / std::sqrt(e) : 0.0;
+    }
+  }
+}
+
+void PcgSolver::apply_preconditioner(const FlagGrid& flags, const GridF& r,
+                                     GridF* z) const {
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  switch (params_.preconditioner) {
+    case Preconditioner::kNone:
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          (*z)(i, j) = flags.is_fluid(i, j) ? r(i, j) : 0.0f;
+        }
+      }
+      return;
+    case Preconditioner::kJacobi:
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          (*z)(i, j) = flags.is_fluid(i, j)
+                           ? static_cast<float>(r(i, j) * precond_diag_(i, j))
+                           : 0.0f;
+        }
+      }
+      return;
+    case Preconditioner::kIC0:
+    case Preconditioner::kMIC0:
+      break;
+  }
+
+  // Forward solve L q = r (L has unit off-diagonals times precond).
+  GridD q(nx, ny, 0.0);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (!flags.is_fluid(i, j)) {
+        continue;
+      }
+      double t = r(i, j);
+      if (i > 0 && coupled_x(flags, i - 1, j)) {
+        t += precond_diag_(i - 1, j) * q(i - 1, j);  // A_plusi = -1.
+      }
+      if (j > 0 && coupled_y(flags, i, j - 1)) {
+        t += precond_diag_(i, j - 1) * q(i, j - 1);
+      }
+      q(i, j) = t * precond_diag_(i, j);
+    }
+  }
+  // Backward solve L^T z = q.
+  for (int j = ny - 1; j >= 0; --j) {
+    for (int i = nx - 1; i >= 0; --i) {
+      if (!flags.is_fluid(i, j)) {
+        (*z)(i, j) = 0.0f;
+        continue;
+      }
+      double t = q(i, j);
+      if (coupled_x(flags, i, j)) {
+        t += precond_diag_(i, j) * (*z)(i + 1, j);
+      }
+      if (coupled_y(flags, i, j)) {
+        t += precond_diag_(i, j) * (*z)(i, j + 1);
+      }
+      (*z)(i, j) = static_cast<float>(t * precond_diag_(i, j));
+    }
+  }
+}
+
+SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
+                            GridF* pressure) {
+  const util::Timer timer;
+  const int nx = flags.nx();
+  const int ny = flags.ny();
+  const auto cells = static_cast<std::uint64_t>(nx) * ny;
+  SolveStats stats;
+
+  if (!precond_valid_ || !(cached_flags_ == flags)) {
+    build_preconditioner(flags);
+    cached_flags_ = flags;
+    precond_valid_ = true;
+    stats.flops += cells * 12;
+  }
+
+  GridD p(nx, ny, 0.0);
+  GridD r(nx, ny, 0.0);
+  GridD s(nx, ny, 0.0);
+  GridD as(nx, ny, 0.0);
+  GridF rf(nx, ny, 0.0f);
+  GridF zf(nx, ny, 0.0f);
+
+  // r = b - A p0 with the caller's pressure as the initial guess.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      p(i, j) = flags.is_fluid(i, j) ? (*pressure)(i, j) : 0.0;
+    }
+  }
+  apply_a(flags, p, &as);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      r(i, j) = flags.is_fluid(i, j) ? rhs(i, j) - as(i, j) : 0.0;
+    }
+  }
+
+  double residual = max_abs(flags, r);
+  if (residual <= params_.tolerance) {
+    stats.converged = true;
+    stats.residual = residual;
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  auto precondition = [&](const GridD& rin, GridD* zout) {
+    for (std::size_t k = 0; k < rin.size(); ++k) {
+      rf[k] = static_cast<float>(rin[k]);
+    }
+    apply_preconditioner(flags, rf, &zf);
+    for (std::size_t k = 0; k < zf.size(); ++k) {
+      (*zout)[k] = zf[k];
+    }
+  };
+
+  GridD z(nx, ny, 0.0);
+  precondition(r, &z);
+  s = z;
+  double sigma = dot(flags, z, r);
+
+  int iter = 0;
+  for (; iter < params_.max_iterations; ++iter) {
+    apply_a(flags, s, &as);
+    const double s_as = dot(flags, s, as);
+    if (s_as == 0.0) {
+      break;
+    }
+    const double alpha = sigma / s_as;
+#pragma omp parallel for schedule(static)
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (!flags.is_fluid(i, j)) continue;
+        p(i, j) += alpha * s(i, j);
+        r(i, j) -= alpha * as(i, j);
+      }
+    }
+    residual = max_abs(flags, r);
+    if (residual <= params_.tolerance) {
+      ++iter;
+      stats.converged = true;
+      break;
+    }
+    precondition(r, &z);
+    const double sigma_new = dot(flags, z, r);
+    const double beta = sigma_new / sigma;
+    sigma = sigma_new;
+#pragma omp parallel for schedule(static)
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (!flags.is_fluid(i, j)) continue;
+        s(i, j) = z(i, j) + beta * s(i, j);
+      }
+    }
+  }
+
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      (*pressure)(i, j) = flags.is_fluid(i, j)
+                              ? static_cast<float>(p(i, j))
+                              : 0.0f;
+    }
+  }
+
+  stats.iterations = iter;
+  stats.residual = residual;
+  // ~7 flops/cell for A, 2x2 for dots, 3x2 for axpy, ~14 for IC solves.
+  stats.flops += static_cast<std::uint64_t>(iter + 1) * cells * 33;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::string PcgSolver::name() const {
+  switch (params_.preconditioner) {
+    case Preconditioner::kNone: return "CG";
+    case Preconditioner::kJacobi: return "JacobiPCG";
+    case Preconditioner::kIC0: return "ICCG(0)";
+    case Preconditioner::kMIC0: return "MICCG(0)";
+  }
+  return "PCG";
+}
+
+}  // namespace sfn::fluid

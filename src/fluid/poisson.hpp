@@ -1,0 +1,43 @@
+#pragma once
+
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sfn::fluid {
+
+/// Outcome of one pressure solve.
+struct SolveStats {
+  int iterations = 0;
+  double residual = 0.0;      ///< Final max-norm residual of A p - b.
+  bool converged = false;
+  std::uint64_t flops = 0;    ///< Estimated floating-point operations.
+  double seconds = 0.0;       ///< Wall-clock time of the solve.
+};
+
+/// Interface for anything that can produce a pressure field from the
+/// velocity divergence: the classic iterative solvers in this module and
+/// the neural surrogate in src/core/neural_projection.*. All solvers solve
+/// A p = b where A is the flag-aware negated 5-point Laplacian
+/// (apply_pressure_laplacian) and b = -div(u*).
+class PoissonSolver {
+ public:
+  virtual ~PoissonSolver() = default;
+
+  /// Solve for pressure. `rhs` is b = -div(u*); `pressure` is used as the
+  /// initial guess and receives the solution on fluid cells.
+  virtual SolveStats solve(const FlagGrid& flags, const GridF& rhs,
+                           GridF* pressure) = 0;
+
+  /// Human-readable solver name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Max-norm of the residual b - A p over fluid cells.
+double poisson_residual(const FlagGrid& flags, const GridF& rhs,
+                        const GridF& pressure);
+
+}  // namespace sfn::fluid

@@ -1,0 +1,178 @@
+#include "fluid/smoke_sim.hpp"
+
+#include "fluid/operators.hpp"
+#include "util/timer.hpp"
+
+#include <cmath>
+
+namespace sfn::fluid {
+
+SmokeSim::SmokeSim(SmokeParams params, FlagGrid flags)
+    : params_(params),
+      flags_(std::move(flags)),
+      solid_distance_(solid_distance_field(flags_)),
+      density_(flags_.nx(), flags_.ny(), 0.0f),
+      pressure_(flags_.nx(), flags_.ny(), 0.0f),
+      divergence_(flags_.nx(), flags_.ny(), 0.0f),
+      rhs_(flags_.nx(), flags_.ny(), 0.0f),
+      vel_(flags_.nx(), flags_.ny()),
+      vel_scratch_(flags_.nx(), flags_.ny()),
+      density_scratch_(flags_.nx(), flags_.ny(), 0.0f) {
+  sources_.push_back(SmokeSource{});
+}
+
+void SmokeSim::apply_sources() {
+  const int nx = flags_.nx();
+  const int ny = flags_.ny();
+  const double dx = 1.0 / nx;
+  for (const auto& src : sources_) {
+    const int lo_i = std::max(0, static_cast<int>((src.cx - src.radius) / dx) - 1);
+    const int hi_i = std::min(nx - 1, static_cast<int>((src.cx + src.radius) / dx) + 1);
+    const int lo_j = std::max(0, static_cast<int>((src.cy - src.radius) / dx) - 1);
+    const int hi_j = std::min(ny - 1, static_cast<int>((src.cy + src.radius) / dx) + 1);
+    for (int j = lo_j; j <= hi_j; ++j) {
+      for (int i = lo_i; i <= hi_i; ++i) {
+        const double x = (i + 0.5) * dx;
+        const double y = (j + 0.5) * dx;
+        const double r2 = (x - src.cx) * (x - src.cx) +
+                          (y - src.cy) * (y - src.cy);
+        if (r2 > src.radius * src.radius || !flags_.is_fluid(i, j)) {
+          continue;
+        }
+        density_(i, j) = static_cast<float>(src.density);
+        vel_.v()(i, j) = static_cast<float>(src.velocity);
+        vel_.v()(i, j + 1) = static_cast<float>(src.velocity);
+      }
+    }
+  }
+}
+
+GridF SmokeSim::vorticity() const {
+  const int nx = flags_.nx();
+  const int ny = flags_.ny();
+  GridF w(nx, ny, 0.0f);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      // Centred differences of the cell-centre velocity field.
+      const auto [ur, vr] = vel_.at_center(std::min(i + 1, nx - 1), j);
+      const auto [ul, vl] = vel_.at_center(std::max(i - 1, 0), j);
+      const auto [uu, vu] = vel_.at_center(i, std::min(j + 1, ny - 1));
+      const auto [ud, vd] = vel_.at_center(i, std::max(j - 1, 0));
+      (void)ur; (void)ul; (void)vu; (void)vd;
+      w(i, j) = 0.5f * ((vr - vl) - (uu - ud));
+    }
+  }
+  return w;
+}
+
+void SmokeSim::add_vorticity_confinement() {
+  // Fedkiw et al. 2001: f = eps * dx * (N x omega) with
+  // N = grad|omega| / |grad|omega||. In 2-D the cross product reduces to
+  // f = eps * dx * (N_y * w, -N_x * w).
+  const int nx = flags_.nx();
+  const int ny = flags_.ny();
+  const GridF w = vorticity();
+  GridF mag(nx, ny, 0.0f);
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    mag[k] = std::abs(w[k]);
+  }
+
+  const double dx = 1.0 / nx;
+  const auto eps_dt =
+      static_cast<float>(params_.vorticity_confinement * dx * params_.dt);
+#pragma omp parallel for schedule(static)
+  for (int j = 1; j < ny - 1; ++j) {
+    for (int i = 1; i < nx - 1; ++i) {
+      if (!flags_.is_fluid(i, j)) {
+        continue;
+      }
+      const float gx = 0.5f * (mag(i + 1, j) - mag(i - 1, j));
+      const float gy = 0.5f * (mag(i, j + 1) - mag(i, j - 1));
+      const float norm = std::sqrt(gx * gx + gy * gy) + 1e-6f;
+      const float fx = (gy / norm) * w(i, j) * eps_dt;
+      const float fy = -(gx / norm) * w(i, j) * eps_dt;
+      // Spread the cell-centred force onto the bounding faces.
+      vel_.u()(i, j) += 0.5f * fx;
+      vel_.u()(i + 1, j) += 0.5f * fx;
+      vel_.v()(i, j) += 0.5f * fy;
+      vel_.v()(i, j + 1) += 0.5f * fy;
+    }
+  }
+}
+
+StepTelemetry SmokeSim::step(PoissonSolver* solver) {
+  const util::Timer timer;
+  StepTelemetry out;
+  const int nx = flags_.nx();
+  const int ny = flags_.ny();
+
+  // 1. Advection (Algorithm 1 line 4).
+  advect_scalar(vel_, flags_, params_.dt, density_, &density_scratch_,
+                params_.advection);
+  std::swap(density_, density_scratch_);
+  advect_velocity(vel_, flags_, params_.dt, &vel_scratch_, params_.advection);
+  std::swap(vel_, vel_scratch_);
+
+  // 2. Body force (line 5): Boussinesq buoyancy on v faces.
+  const float buoy = static_cast<float>(params_.buoyancy * params_.dt);
+#pragma omp parallel for schedule(static)
+  for (int j = 1; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags_.is_fluid(i, j - 1) && flags_.is_fluid(i, j)) {
+        vel_.v()(i, j) +=
+            buoy * 0.5f * (density_(i, j - 1) + density_(i, j));
+      }
+    }
+  }
+
+  if (params_.vorticity_confinement > 0.0) {
+    add_vorticity_confinement();
+  }
+
+  // 3. Emit sources and pin solid-face velocities before measuring div.
+  apply_sources();
+  vel_.enforce_solid_boundaries(flags_);
+
+  // 4. Pressure projection (lines 6-18): solve A p = -div(u*).
+  divergence(vel_, flags_, &divergence_);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      rhs_(i, j) = -divergence_(i, j);
+    }
+  }
+  if (!params_.warm_start_pressure) {
+    pressure_.fill(0.0f);  // Algorithm 1 line 9: initial guess p = 0.
+  }
+  out.solve = solver->solve(flags_, rhs_, &pressure_);
+  subtract_pressure_gradient(pressure_, flags_, &vel_);
+  vel_.enforce_solid_boundaries(flags_);
+
+  // Safety clamp: approximate pressure solves can feed energy back into
+  // the velocity field; keep components finite and bounded so telemetry
+  // and quality metrics stay well-defined.
+  const auto vmax = static_cast<float>(params_.max_velocity);
+  auto clamp_grid = [vmax](GridF& g) {
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      float v = g[k];
+      if (!std::isfinite(v)) {
+        v = 0.0f;
+      }
+      g[k] = std::clamp(v, -vmax, vmax);
+    }
+  };
+  clamp_grid(vel_.u());
+  clamp_grid(vel_.v());
+
+  // 5. Telemetry: DivNorm of the projected velocity (Eq. 5) and its
+  // running accumulation (Eq. 9).
+  out.div_norm =
+      div_norm(vel_, flags_, solid_distance_, params_.divnorm_weight_k);
+  cum_div_norm_ += out.div_norm;
+  out.cum_div_norm = cum_div_norm_;
+  ++steps_;
+  out.step_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace sfn::fluid

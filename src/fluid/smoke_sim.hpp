@@ -1,0 +1,106 @@
+#pragma once
+
+#include "fluid/advection.hpp"
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+#include "fluid/mac_grid.hpp"
+#include "fluid/poisson.hpp"
+
+#include <vector>
+
+namespace sfn::fluid {
+
+/// Disk-shaped smoke/velocity source re-stamped every step (the classic
+/// rising-plume emitter). Coordinates are in world units over a unit-width
+/// domain so a problem description is resolution-independent.
+struct SmokeSource {
+  double cx = 0.5;
+  double cy = 0.12;
+  double radius = 0.08;
+  double density = 1.0;   ///< Density value stamped inside the disk.
+  double velocity = 0.6;  ///< Upward velocity stamped inside the disk.
+};
+
+struct SmokeParams {
+  double dt = 0.05;          ///< World-time step.
+  double buoyancy = 2.0;     ///< Upward acceleration per unit density.
+  AdvectionScheme advection = AdvectionScheme::kSemiLagrangian;
+  int divnorm_weight_k = 3;  ///< k in w_i = max(1, k - d_i) (paper Eq. 5).
+  /// Algorithm 1 line 9 sets the initial guess p = 0 each step; enable
+  /// this to warm-start PCG from the previous step's pressure instead
+  /// (an optimisation the paper's baseline does not use).
+  bool warm_start_pressure = false;
+  /// Safety clamp on velocity components (world units). An inaccurate
+  /// surrogate can pump energy into the field; this keeps the simulation
+  /// finite so quality loss is measured instead of crashing. Generous:
+  /// physical plume speeds here are O(1).
+  double max_velocity = 20.0;
+  /// Vorticity-confinement strength (Fedkiw et al.): re-injects the
+  /// small-scale swirl that semi-Lagrangian advection dissipates.
+  /// 0 disables it (the paper's baseline configuration).
+  double vorticity_confinement = 0.0;
+};
+
+/// Telemetry recorded each step; the runtime controller consumes
+/// div_norm/cum_div_norm (paper §6.1), the benches consume the rest.
+struct StepTelemetry {
+  double div_norm = 0.0;       ///< Post-projection DivNorm (Eq. 5).
+  double cum_div_norm = 0.0;   ///< Running sum of div_norm (Eq. 9).
+  SolveStats solve;            ///< Pressure-solve outcome this step.
+  double step_seconds = 0.0;   ///< Wall time of the full step.
+};
+
+/// 2-D smoke plume simulation (paper §2.1, Algorithm 1): per step —
+/// advect density and velocity, add buoyancy, stamp sources, then project
+/// pressure with a pluggable PoissonSolver (PCG or a neural surrogate).
+class SmokeSim {
+ public:
+  SmokeSim(SmokeParams params, FlagGrid flags);
+
+  /// Advance one time step using `solver` for the pressure projection.
+  StepTelemetry step(PoissonSolver* solver);
+
+  [[nodiscard]] int nx() const { return flags_.nx(); }
+  [[nodiscard]] int ny() const { return flags_.ny(); }
+
+  [[nodiscard]] GridF& density() { return density_; }
+  [[nodiscard]] const GridF& density() const { return density_; }
+  [[nodiscard]] MacGrid2& velocity() { return vel_; }
+  [[nodiscard]] const MacGrid2& velocity() const { return vel_; }
+  [[nodiscard]] const FlagGrid& flags() const { return flags_; }
+  [[nodiscard]] const GridF& pressure() const { return pressure_; }
+  [[nodiscard]] const GridF& last_divergence() const { return divergence_; }
+
+  [[nodiscard]] double cum_div_norm() const { return cum_div_norm_; }
+  [[nodiscard]] int steps_taken() const { return steps_; }
+  [[nodiscard]] const SmokeParams& params() const { return params_; }
+
+  std::vector<SmokeSource>& sources() { return sources_; }
+
+  /// Re-stamp all sources into the density and velocity fields (also
+  /// called internally by step()).
+  void apply_sources();
+
+  /// Cell-centred vorticity (dv/dx - du/dy, grid units) of the current
+  /// velocity field; exposed for tests and diagnostics.
+  [[nodiscard]] GridF vorticity() const;
+
+ private:
+  void add_vorticity_confinement();
+
+  SmokeParams params_;
+  FlagGrid flags_;
+  Grid2<int> solid_distance_;
+  GridF density_;
+  GridF pressure_;
+  GridF divergence_;
+  GridF rhs_;
+  MacGrid2 vel_;
+  MacGrid2 vel_scratch_;
+  GridF density_scratch_;
+  std::vector<SmokeSource> sources_;
+  double cum_div_norm_ = 0.0;
+  int steps_ = 0;
+};
+
+}  // namespace sfn::fluid

@@ -1,0 +1,98 @@
+#include "modelgen/generator.hpp"
+
+#include "modelgen/transform_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sfn::modelgen {
+
+namespace {
+
+std::size_t random_stage(const ArchSpec& spec, util::Rng& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(spec.stages.size()) - 1));
+}
+
+}  // namespace
+
+std::vector<GeneratedSpec> generate_family(const ArchSpec& base,
+                                           const GenerationParams& params,
+                                           util::Rng& rng) {
+  std::vector<GeneratedSpec> family;
+
+  // Step 1 — shallow(G, L) on distinct intermediate stages. The paper
+  // applies the operation at most once per model (pruning more than one
+  // layer loses ~20% quality), yielding `shallow_models` new models.
+  std::vector<std::size_t> stage_order(base.stages.size());
+  std::iota(stage_order.begin(), stage_order.end(), std::size_t{0});
+  // Shuffle so which stages get deleted is seed-dependent when there are
+  // more stages than shallow_models.
+  for (std::size_t i = stage_order.size(); i > 1; --i) {
+    std::swap(stage_order[i - 1],
+              stage_order[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  // Each shallow model deletes ONE distinct stage from the base (the base
+  // keeps >= 1 stage afterwards since deletion is per-model, not stacked),
+  // so a 5-stage base yields up to 5 shallow models as in the paper.
+  const int n_shallow =
+      base.stages.size() >= 2
+          ? std::min<int>(params.shallow_models,
+                          static_cast<int>(base.stages.size()))
+          : 0;
+  for (int s = 0; s < n_shallow; ++s) {
+    family.push_back({shallow(base, stage_order[static_cast<std::size_t>(s)]),
+                      "shallow"});
+  }
+
+  // Step 2 — narrow(G, L, r) with r = |L| * narrow_fraction, applied to a
+  // randomly chosen layer, ten times per shallow model, each application
+  // yielding a new model.
+  const std::size_t after_shallow = family.size();
+  std::vector<GeneratedSpec> narrowed;
+  for (std::size_t m = 0; m < after_shallow; ++m) {
+    for (int v = 0; v < params.narrow_variants_per_model; ++v) {
+      const ArchSpec& src = family[m].spec;
+      const std::size_t layer = random_stage(src, rng);
+      const int r = std::max(
+          1, static_cast<int>(std::ceil(src.stages[layer].channels *
+                                        params.narrow_fraction)));
+      narrowed.push_back({narrow(src, layer, r), "narrow"});
+    }
+  }
+  family.insert(family.end(), narrowed.begin(), narrowed.end());
+
+  // Step 3 — pooling(G, L, m) with a 2x2 max-pooling window on a random
+  // stage of every model generated so far, doubling the family.
+  const std::size_t after_narrow = family.size();
+  std::vector<GeneratedSpec> pooled;
+  for (std::size_t m = 0; m < after_narrow; ++m) {
+    const ArchSpec& src = family[m].spec;
+    const std::size_t layer = random_stage(src, rng);
+    pooled.push_back({pooling(src, layer, params.pooling_window, true),
+                      "pooling"});
+  }
+  family.insert(family.end(), pooled.begin(), pooled.end());
+
+  // Step 4 — dropout(G, L, p) on `dropout_models` random picks.
+  const std::size_t pool_size = family.size();
+  std::vector<GeneratedSpec> dropped;
+  for (int d = 0; d < params.dropout_models; ++d) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool_size) - 1));
+    const ArchSpec& src = family[pick].spec;
+    const std::size_t layer = random_stage(src, rng);
+    dropped.push_back({dropout(src, layer, params.dropout_rate), "dropout"});
+  }
+  family.insert(family.end(), dropped.begin(), dropped.end());
+
+  // Stamp unique names so downstream reports stay readable.
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    family[i].spec.name = "gen" + std::to_string(i);
+  }
+  return family;
+}
+
+}  // namespace sfn::modelgen

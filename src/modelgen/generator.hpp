@@ -1,0 +1,37 @@
+#pragma once
+
+#include "modelgen/arch_spec.hpp"
+
+#include <vector>
+
+namespace sfn::modelgen {
+
+/// Knobs of the §4 generation recipe. Defaults mirror the paper exactly:
+/// 5 shallow models, 10 narrow variants each (55 total), pooling applied
+/// to all 55 (110 total), dropout applied to 18 random picks (128 total).
+struct GenerationParams {
+  int shallow_models = 5;
+  int narrow_variants_per_model = 10;
+  /// Fraction of a layer's neurons removed by narrow (paper: r = |L|/10;
+  /// more than |L|/2 was found to lose > 20% quality).
+  double narrow_fraction = 0.1;
+  int pooling_window = 2;       ///< The paper's special-case 2x2 matrix.
+  int dropout_models = 18;      ///< Paper's sensitivity study: 15-20 is best.
+  double dropout_rate = 0.1;    ///< Paper: 10% beats 5% and 15%.
+};
+
+/// A generated candidate with provenance for reports.
+struct GeneratedSpec {
+  ArchSpec spec;
+  std::string origin;  ///< "shallow", "narrow", "pooling", "dropout", "search".
+};
+
+/// Apply the paper's four transformation operations in their prescribed
+/// order to produce the derived-model family (128 specs under default
+/// parameters). Deterministic given `rng`'s seed. Every returned spec
+/// passes validate().
+std::vector<GeneratedSpec> generate_family(const ArchSpec& base,
+                                           const GenerationParams& params,
+                                           util::Rng& rng);
+
+}  // namespace sfn::modelgen

@@ -1,0 +1,107 @@
+#include "modelgen/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sfn::modelgen {
+
+ArchSpec propose_morphism(const ArchSpec& spec, const SearchParams& params,
+                          util::Rng& rng) {
+  ArchSpec out = spec;
+  const auto stage_idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(spec.stages.size()) - 1));
+  auto& stage = out.stages[stage_idx];
+
+  switch (rng.uniform_int(0, 3)) {
+    case 0:  // Widen: +25% channels (at least +1), capped.
+      stage.channels = std::min(
+          params.max_channels,
+          stage.channels + std::max(1, stage.channels / 4));
+      break;
+    case 1:  // Deepen: duplicate a stage (identity-like morphism).
+      if (static_cast<int>(out.stages.size()) < params.max_stages) {
+        StageSpec copy = stage;
+        copy.residual = true;  // Same width, so residual is legal.
+        copy.channels = stage.channels;
+        copy.pool = 1;
+        copy.unpool = 1;
+        copy.dropout = 0.0;
+        out.stages.insert(
+            out.stages.begin() + static_cast<std::ptrdiff_t>(stage_idx) + 1,
+            copy);
+      } else {
+        stage.channels = std::min(params.max_channels, stage.channels + 1);
+      }
+      break;
+    case 2:  // Grow the kernel 3 -> 5 (never beyond 5: cost explodes).
+      stage.kernel = std::min(5, stage.kernel + 2);
+      break;
+    default: {  // Toggle a residual connection where channel counts allow.
+      const int prev_channels = stage_idx == 0
+                                    ? out.in_channels
+                                    : out.stages[stage_idx - 1].channels;
+      if (prev_channels == stage.channels) {
+        stage.residual = !stage.residual;
+      } else {
+        stage.channels = std::min(params.max_channels, stage.channels + 1);
+      }
+      break;
+    }
+  }
+  out.name = spec.name + "+";
+  return out;
+}
+
+std::vector<ArchSpec> search_accurate_models(const ArchSpec& base,
+                                             const SearchParams& params,
+                                             const Objective& objective,
+                                             util::Rng& rng) {
+  struct Scored {
+    ArchSpec spec;
+    double score;
+  };
+  std::vector<Scored> archive;
+  archive.push_back({base, objective(base)});
+
+  ArchSpec current = base;
+  double current_score = archive.front().score;
+
+  const int total_rounds = params.rounds * params.models;
+  for (int round = 0; round < total_rounds; ++round) {
+    ArchSpec candidate = propose_morphism(current, params, rng);
+    if (!validate(candidate).empty()) {
+      continue;
+    }
+    const bool seen =
+        std::any_of(archive.begin(), archive.end(),
+                    [&](const Scored& s) { return s.spec == candidate; });
+    if (seen) {
+      continue;
+    }
+    const double score = objective(candidate);
+    archive.push_back({candidate, score});
+    if (score < current_score) {
+      current = candidate;
+      current_score = score;
+    } else if (rng.bernoulli(0.25)) {
+      // Occasional sideways move keeps the climb from stalling on a
+      // plateau — a cheap stand-in for Auto-Keras' Bayesian acquisition.
+      current = candidate;
+      current_score = score;
+    }
+  }
+
+  std::sort(archive.begin(), archive.end(),
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+  std::vector<ArchSpec> best;
+  for (const auto& s : archive) {
+    if (static_cast<int>(best.size()) >= params.models) {
+      break;
+    }
+    best.push_back(s.spec);
+    best.back().name = "auto" + std::to_string(best.size() - 1);
+  }
+  return best;
+}
+
+}  // namespace sfn::modelgen

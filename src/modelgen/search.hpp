@@ -1,0 +1,38 @@
+#pragma once
+
+#include "modelgen/arch_spec.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace sfn::modelgen {
+
+/// Parameters for the accuracy-oriented architecture search that stands in
+/// for Auto-Keras (paper §4: "we change Auto-Keras to generate and train
+/// five models with the better accuracy").
+struct SearchParams {
+  int models = 5;        ///< How many distinct accurate models to return.
+  int rounds = 8;        ///< Hill-climbing rounds per model.
+  int max_channels = 32; ///< Cap so the search cannot blow up cost.
+  int max_stages = 9;    ///< Eq. 6 feature-vector width.
+};
+
+/// Objective: lower is better (e.g. validation loss after a short
+/// training run). The search never calls it with an invalid spec.
+using Objective = std::function<double(const ArchSpec&)>;
+
+/// Morphism-based hill climb: starting from `base`, repeatedly propose a
+/// network morphism (widen a stage, deepen, enlarge a kernel, add a
+/// residual connection), keep it if the objective improves, and collect
+/// the `models` best distinct architectures found along the way.
+std::vector<ArchSpec> search_accurate_models(const ArchSpec& base,
+                                             const SearchParams& params,
+                                             const Objective& objective,
+                                             util::Rng& rng);
+
+/// One random morphism proposal (exposed for testing): widen / deepen /
+/// kernel-grow / residual-toggle, always returning a valid spec.
+ArchSpec propose_morphism(const ArchSpec& spec, const SearchParams& params,
+                          util::Rng& rng);
+
+}  // namespace sfn::modelgen

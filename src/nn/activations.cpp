@@ -1,0 +1,78 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace sfn::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0f) {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) {
+      grad[i] = 0.0f;
+    }
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+void ReLU::save(std::ostream& /*out*/) const {}
+void ReLU::load(std::istream& /*in*/) {}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*train*/) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float s = cached_output_[i];
+    grad[i] *= s * (1.0f - s);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>();
+}
+void Sigmoid::save(std::ostream& /*out*/) const {}
+void Sigmoid::load(std::istream& /*in*/) {}
+
+Tensor Tanh::forward(const Tensor& input, bool /*train*/) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::tanh(out[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float t = cached_output_[i];
+    grad[i] *= 1.0f - t * t;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+void Tanh::save(std::ostream& /*out*/) const {}
+void Tanh::load(std::istream& /*in*/) {}
+
+}  // namespace sfn::nn

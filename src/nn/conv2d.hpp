@@ -1,0 +1,56 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+#include <vector>
+
+namespace sfn::nn {
+
+/// 2-D convolution, stride 1, zero "same" padding, odd kernel size.
+///
+/// Optionally residual (y = conv(x) + x, requires in == out channels) —
+/// this is how the ArchSpec's per-layer residual-connection flag (one of
+/// the paper's Eq. 6 architecture features) is realised.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, bool residual = false);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string kind() const override { return "conv2d"; }
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+  void init_weights(util::Rng& rng) override;
+
+  [[nodiscard]] int in_channels() const { return in_c_; }
+  [[nodiscard]] int out_channels() const { return out_c_; }
+  [[nodiscard]] int kernel() const { return k_; }
+  [[nodiscard]] bool residual() const { return residual_; }
+
+  /// Weight at (out channel, in channel, ky, kx); exposed for tests and
+  /// for the `narrow` transformation, which copies surviving channels.
+  float& weight(int oc, int ic, int ky, int kx) {
+    return weights_[((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + ky) *
+                        k_ +
+                    kx];
+  }
+  float& bias(int oc) { return bias_[oc]; }
+
+ private:
+  int in_c_;
+  int out_c_;
+  int k_;
+  bool residual_;
+  std::vector<float> weights_;
+  std::vector<float> weight_grads_;
+  std::vector<float> bias_;
+  std::vector<float> bias_grads_;
+  Tensor cached_input_;
+};
+
+}  // namespace sfn::nn

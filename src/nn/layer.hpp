@@ -1,0 +1,59 @@
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace sfn::nn {
+
+/// A learnable parameter blob paired with its gradient accumulator.
+struct ParamView {
+  std::span<float> values;
+  std::span<float> grads;
+};
+
+/// Base class for all network layers.
+///
+/// Contract: `forward` caches whatever `backward` needs; `backward` must be
+/// called at most once per forward and receives dLoss/dOutput, returns
+/// dLoss/dInput, and *accumulates* into parameter gradients (callers zero
+/// them between optimizer steps).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameter blobs (empty for stateless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Output shape for a given input shape (throws on mismatch).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Estimated FLOPs of one forward pass at the given input shape.
+  [[nodiscard]] virtual std::uint64_t flops(const Shape& input) const = 0;
+
+  /// Deep copy including weights.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Short human-readable description, e.g. "Conv2D(2->8, k3)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Stable type tag used by the serializer.
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Write/read configuration and weights (not the kind tag).
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
+
+  /// (Re)initialise weights; default no-op for stateless layers.
+  virtual void init_weights(util::Rng& /*rng*/) {}
+};
+
+}  // namespace sfn::nn

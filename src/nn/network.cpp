@@ -1,0 +1,224 @@
+#include "nn/network.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfn::nn {
+
+namespace {
+
+constexpr std::int32_t kMagic = 0x53464e4e;  // "SFNN"
+constexpr std::int32_t kVersion = 1;
+
+/// Construct a layer of the given kind by reading its config (and weights,
+/// through params()) from the stream — the mirror of Layer::save.
+std::unique_ptr<Layer> make_layer(const std::string& kind, std::istream& in) {
+  if (kind == "conv2d") {
+    const int ic = io::read_i32(in);
+    const int oc = io::read_i32(in);
+    const int k = io::read_i32(in);
+    const int res = io::read_i32(in);
+    auto layer = std::make_unique<Conv2D>(ic, oc, k, res != 0);
+    for (auto& view : layer->params()) {
+      io::read_floats(in, view.values);
+    }
+    return layer;
+  }
+  if (kind == "dense") {
+    const int inf = io::read_i32(in);
+    const int outf = io::read_i32(in);
+    auto layer = std::make_unique<Dense>(inf, outf);
+    for (auto& view : layer->params()) {
+      io::read_floats(in, view.values);
+    }
+    return layer;
+  }
+  if (kind == "relu") return std::make_unique<ReLU>();
+  if (kind == "sigmoid") return std::make_unique<Sigmoid>();
+  if (kind == "tanh") return std::make_unique<Tanh>();
+  if (kind == "maxpool") return std::make_unique<MaxPool2D>(io::read_i32(in));
+  if (kind == "avgpool") return std::make_unique<AvgPool2D>(io::read_i32(in));
+  if (kind == "upsample") {
+    return std::make_unique<Upsample2D>(io::read_i32(in));
+  }
+  if (kind == "dropout") return std::make_unique<Dropout>(io::read_f64(in));
+  throw std::runtime_error("Network::load: unknown layer kind '" + kind + "'");
+}
+
+}  // namespace
+
+Network::Network(const Network& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) {
+    layers_.push_back(l->clone());
+  }
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this != &other) {
+    Network copy(other);
+    layers_ = std::move(copy.layers_);
+  }
+  return *this;
+}
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Network::erase_layer(std::size_t i) {
+  if (i >= layers_.size()) {
+    throw std::out_of_range("Network::erase_layer");
+  }
+  layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void Network::insert_layer(std::size_t i, std::unique_ptr<Layer> layer) {
+  if (i > layers_.size()) {
+    throw std::out_of_range("Network::insert_layer");
+  }
+  layers_.insert(layers_.begin() + static_cast<std::ptrdiff_t>(i),
+                 std::move(layer));
+}
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x, train);
+  }
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Network::zero_grads() {
+  for (auto& layer : layers_) {
+    for (auto& view : layer->params()) {
+      std::fill(view.grads.begin(), view.grads.end(), 0.0f);
+    }
+  }
+}
+
+std::vector<ParamView> Network::params() {
+  std::vector<ParamView> all;
+  for (auto& layer : layers_) {
+    for (auto& view : layer->params()) {
+      all.push_back(view);
+    }
+  }
+  return all;
+}
+
+std::size_t Network::param_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    // params() is non-const because it exposes mutable spans; cloning just
+    // to count would be wasteful, so we const_cast knowing we only read.
+    for (auto& view : const_cast<Layer&>(*layer).params()) {
+      n += view.values.size();
+    }
+  }
+  return n;
+}
+
+std::uint64_t Network::flops(const Shape& input) const {
+  std::uint64_t total = 0;
+  Shape shape = input;
+  for (const auto& layer : layers_) {
+    total += layer->flops(shape);
+    shape = layer->output_shape(shape);
+  }
+  return total;
+}
+
+Shape Network::output_shape(Shape input) const {
+  for (const auto& layer : layers_) {
+    input = layer->output_shape(input);
+  }
+  return input;
+}
+
+std::size_t Network::memory_bytes(const Shape& input) const {
+  std::size_t activation_peak = input.numel();
+  Shape shape = input;
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    activation_peak = std::max(activation_peak, shape.numel());
+  }
+  return (param_count() + 2 * activation_peak) * sizeof(float);
+}
+
+void Network::init_weights(util::Rng& rng) {
+  for (auto& layer : layers_) {
+    layer->init_weights(rng);
+  }
+}
+
+std::string Network::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << layers_[i]->describe();
+  }
+  return out.str();
+}
+
+void Network::save(std::ostream& out) const {
+  io::write_i32(out, kMagic);
+  io::write_i32(out, kVersion);
+  io::write_i32(out, static_cast<std::int32_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    io::write_string(out, layer->kind());
+    layer->save(out);
+  }
+}
+
+void Network::save_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("Network::save_file: cannot open " +
+                             path.string());
+  }
+  save(out);
+}
+
+Network Network::load(std::istream& in) {
+  if (io::read_i32(in) != kMagic) {
+    throw std::runtime_error("Network::load: bad magic");
+  }
+  if (io::read_i32(in) != kVersion) {
+    throw std::runtime_error("Network::load: unsupported version");
+  }
+  const int n = io::read_i32(in);
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    const std::string kind = io::read_string(in);
+    net.add(make_layer(kind, in));
+  }
+  return net;
+}
+
+Network Network::load_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Network::load_file: cannot open " +
+                             path.string());
+  }
+  return load(in);
+}
+
+}  // namespace sfn::nn

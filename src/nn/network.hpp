@@ -1,0 +1,68 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sfn::nn {
+
+/// Sequential network: the container behind every surrogate CNN, the Yang
+/// baseline, and the success-rate MLP.
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+
+  /// Append a layer; returns *this for fluent construction.
+  Network& add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  Network& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t depth() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Remove layer i (the `shallow` transformation's primitive).
+  void erase_layer(std::size_t i);
+  /// Insert a layer before position i (the `pooling` transformation).
+  void insert_layer(std::size_t i, std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& input, bool train = false);
+  /// Backprop dLoss/dOutput through the whole stack; returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_output);
+
+  void zero_grads();
+  [[nodiscard]] std::vector<ParamView> params();
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Total forward FLOPs at the given input shape.
+  [[nodiscard]] std::uint64_t flops(const Shape& input) const;
+  /// Output shape after the full stack.
+  [[nodiscard]] Shape output_shape(Shape input) const;
+  /// Bytes for parameters plus the largest single activation (a proxy for
+  /// inference memory, used in the Table 4 reproduction).
+  [[nodiscard]] std::size_t memory_bytes(const Shape& input) const;
+
+  void init_weights(util::Rng& rng);
+
+  [[nodiscard]] std::string describe() const;
+
+  void save(std::ostream& out) const;
+  void save_file(const std::filesystem::path& path) const;
+  static Network load(std::istream& in);
+  static Network load_file(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace sfn::nn

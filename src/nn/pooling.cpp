@@ -1,0 +1,233 @@
+#include "nn/pooling.hpp"
+
+#include "nn/serialize.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfn::nn {
+
+namespace {
+
+int pooled_extent(int extent, int size) {
+  // Ceil division: trailing partial windows pool whatever cells exist.
+  return (extent + size - 1) / size;
+}
+
+}  // namespace
+
+MaxPool2D::MaxPool2D(int size) : size_(size) {
+  if (size < 2) {
+    throw std::invalid_argument("MaxPool2D: size must be >= 2");
+  }
+}
+
+Shape MaxPool2D::output_shape(const Shape& input) const {
+  return Shape{input.c, pooled_extent(input.h, size_),
+               pooled_extent(input.w, size_)};
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*train*/) {
+  in_shape_ = input.shape();
+  const Shape out_shape = output_shape(in_shape_);
+  Tensor out(out_shape);
+  argmax_.assign(out.numel(), 0);
+
+  std::size_t o = 0;
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x, ++o) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape_.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape_.w) break;
+            const float v = input.at(c, iy, ix);
+            if (v > best) {
+              best = v;
+              best_idx =
+                  (static_cast<std::size_t>(c) * in_shape_.h + iy) *
+                      in_shape_.w +
+                  ix;
+            }
+          }
+        }
+        out[o] = best;
+        argmax_[o] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t o = 0; o < grad_output.numel(); ++o) {
+    grad_in[argmax_[o]] += grad_output[o];
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPool2D::clone() const {
+  return std::make_unique<MaxPool2D>(size_);
+}
+
+std::string MaxPool2D::describe() const {
+  std::ostringstream out;
+  out << "MaxPool2D(" << size_ << "x" << size_ << ")";
+  return out.str();
+}
+
+void MaxPool2D::save(std::ostream& out) const { io::write_i32(out, size_); }
+void MaxPool2D::load(std::istream& in) {
+  if (io::read_i32(in) != size_) {
+    throw std::runtime_error("MaxPool2D::load: size mismatch");
+  }
+}
+
+AvgPool2D::AvgPool2D(int size) : size_(size) {
+  if (size < 2) {
+    throw std::invalid_argument("AvgPool2D: size must be >= 2");
+  }
+}
+
+Shape AvgPool2D::output_shape(const Shape& input) const {
+  return Shape{input.c, pooled_extent(input.h, size_),
+               pooled_extent(input.w, size_)};
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool /*train*/) {
+  in_shape_ = input.shape();
+  const Shape out_shape = output_shape(in_shape_);
+  Tensor out(out_shape);
+
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        float acc = 0.0f;
+        int count = 0;
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape_.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape_.w) break;
+            acc += input.at(c, iy, ix);
+            ++count;
+          }
+        }
+        out.at(c, y, x) = acc / static_cast<float>(count);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  Tensor grad_in(in_shape_);
+  const Shape out_shape = grad_output.shape();
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        int count = 0;
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape_.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape_.w) break;
+            ++count;
+          }
+        }
+        const float share = grad_output.at(c, y, x) / static_cast<float>(count);
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape_.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape_.w) break;
+            grad_in.at(c, iy, ix) += share;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> AvgPool2D::clone() const {
+  return std::make_unique<AvgPool2D>(size_);
+}
+
+std::string AvgPool2D::describe() const {
+  std::ostringstream out;
+  out << "AvgPool2D(" << size_ << "x" << size_ << ")";
+  return out.str();
+}
+
+void AvgPool2D::save(std::ostream& out) const { io::write_i32(out, size_); }
+void AvgPool2D::load(std::istream& in) {
+  if (io::read_i32(in) != size_) {
+    throw std::runtime_error("AvgPool2D::load: size mismatch");
+  }
+}
+
+Upsample2D::Upsample2D(int scale) : scale_(scale) {
+  if (scale < 2) {
+    throw std::invalid_argument("Upsample2D: scale must be >= 2");
+  }
+}
+
+Shape Upsample2D::output_shape(const Shape& input) const {
+  return Shape{input.c, input.h * scale_, input.w * scale_};
+}
+
+Tensor Upsample2D::forward(const Tensor& input, bool /*train*/) {
+  in_shape_ = input.shape();
+  const Shape out_shape = output_shape(in_shape_);
+  Tensor out(out_shape);
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        out.at(c, y, x) = input.at(c, y / scale_, x / scale_);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Upsample2D::backward(const Tensor& grad_output) {
+  Tensor grad_in(in_shape_);
+  const Shape out_shape = grad_output.shape();
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        grad_in.at(c, y / scale_, x / scale_) += grad_output.at(c, y, x);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Upsample2D::clone() const {
+  return std::make_unique<Upsample2D>(scale_);
+}
+
+std::string Upsample2D::describe() const {
+  std::ostringstream out;
+  out << "Upsample2D(x" << scale_ << ")";
+  return out.str();
+}
+
+void Upsample2D::save(std::ostream& out) const { io::write_i32(out, scale_); }
+void Upsample2D::load(std::istream& in) {
+  if (io::read_i32(in) != scale_) {
+    throw std::runtime_error("Upsample2D::load: scale mismatch");
+  }
+}
+
+}  // namespace sfn::nn

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace sfn::nn {
+
+/// Shape of a feature map or flat vector. CNN activations are CHW
+/// (channels, height, width); dense activations are {n} with rank 1.
+struct Shape {
+  int c = 1;
+  int h = 1;
+  int w = 1;
+
+  [[nodiscard]] std::size_t numel() const {
+    return static_cast<std::size_t>(c) * h * w;
+  }
+  bool operator==(const Shape&) const = default;
+};
+
+/// Dense float tensor with CHW layout. Single-sample (no batch dimension):
+/// training batches are processed as an outer loop with gradient
+/// accumulation, which keeps every layer's backward rule simple and the
+/// working set small — the right trade for the small surrogate models this
+/// project trains (thousands to tens of thousands of parameters).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float value = 0.0f)
+      : shape_(shape), data_(shape.numel(), value) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    assert(data_.size() == shape_.numel());
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+
+  float& at(int c, int y, int x) {
+    return data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x];
+  }
+  [[nodiscard]] float at(int c, int y, int x) const {
+    return data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x];
+  }
+
+  float& operator[](std::size_t k) { return data_[k]; }
+  float operator[](std::size_t k) const { return data_[k]; }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reinterpret as a flat vector (for dense layers); no copy.
+  void flatten() { shape_ = Shape{1, 1, static_cast<int>(numel())}; }
+
+  [[nodiscard]] double sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sfn::nn

@@ -1,0 +1,45 @@
+#include "quality/features.hpp"
+
+#include <stdexcept>
+
+namespace sfn::quality {
+
+std::array<float, kFeatureDim> encode_features(const modelgen::ArchSpec& spec,
+                                               double q, double t,
+                                               const FeatureScale& scale) {
+  if (spec.stages.size() > kFeatureSlots) {
+    throw std::invalid_argument("encode_features: spec deeper than 9 stages");
+  }
+  std::array<float, kFeatureDim> f{};
+  f[0] = static_cast<float>(q / scale.max_quality);
+  f[1] = static_cast<float>(t / scale.max_time);
+  f[2] = static_cast<float>(spec.layer_count() / scale.max_layers);
+
+  // Five blocks of 9: kernel, channels, pool, unpool, residual.
+  const int kKer = 3;
+  const int kChn = kKer + kFeatureSlots;
+  const int kPool = kChn + kFeatureSlots;
+  const int kUnp = kPool + kFeatureSlots;
+  const int kRes = kUnp + kFeatureSlots;
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    const auto& stage = spec.stages[s];
+    f[kKer + s] = static_cast<float>(stage.kernel / scale.max_kernel);
+    f[kChn + s] = static_cast<float>(stage.channels / scale.max_channels);
+    f[kPool + s] = static_cast<float>(stage.pool / scale.max_pool);
+    f[kUnp + s] = static_cast<float>(stage.unpool / scale.max_pool);
+    f[kRes + s] = stage.residual ? 1.0f : 0.0f;
+  }
+  return f;
+}
+
+nn::Tensor encode_features_tensor(const modelgen::ArchSpec& spec, double q,
+                                  double t, const FeatureScale& scale) {
+  const auto f = encode_features(spec, q, t, scale);
+  nn::Tensor tensor(nn::Shape{1, 1, kFeatureDim});
+  for (int i = 0; i < kFeatureDim; ++i) {
+    tensor[static_cast<std::size_t>(i)] = f[static_cast<std::size_t>(i)];
+  }
+  return tensor;
+}
+
+}  // namespace sfn::quality

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "modelgen/arch_spec.hpp"
+#include "nn/tensor.hpp"
+
+#include <array>
+
+namespace sfn::quality {
+
+/// Width of the paper's Eq. 6 feature vector: (q, t, l_k) plus five
+/// 9-component per-layer descriptors (kernel, channels, pool, unpool,
+/// residual) = 3 + 5 * 9.
+inline constexpr int kFeatureSlots = 9;
+inline constexpr int kFeatureDim = 3 + 5 * kFeatureSlots;
+
+/// Normalisation constants so every feature lands in roughly [0, 1];
+/// documented here because the MLP is trained and served with the same
+/// encoding and any change invalidates stored models.
+struct FeatureScale {
+  double max_quality = 0.1;   ///< Divides q.
+  double max_time = 10.0;     ///< Divides t (seconds).
+  double max_layers = 10.0;
+  double max_kernel = 7.0;
+  double max_channels = 64.0;
+  double max_pool = 4.0;
+};
+
+/// Encode (user requirement, architecture) into the Eq. 6 feature vector
+/// F = (q, t, l_k, ker, chn, pool, unp, res). Stages beyond the spec's
+/// depth are zero-padded; specs deeper than 9 stages are rejected by
+/// modelgen::validate up-front.
+std::array<float, kFeatureDim> encode_features(const modelgen::ArchSpec& spec,
+                                               double q, double t,
+                                               const FeatureScale& scale = {});
+
+/// As a tensor ready to feed the MLP.
+nn::Tensor encode_features_tensor(const modelgen::ArchSpec& spec, double q,
+                                  double t, const FeatureScale& scale = {});
+
+}  // namespace sfn::quality

@@ -1,0 +1,126 @@
+#include "quality/mlp.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sfn::quality {
+
+std::vector<int> mlp_layer_widths(MlpTopology topology) {
+  // First entry is the input width (48); last is the single output.
+  switch (topology) {
+    case MlpTopology::kMlp1: return {kFeatureDim, 32, 16, 1};
+    case MlpTopology::kMlp2: return {kFeatureDim, 32, 16, 8, 1};
+    case MlpTopology::kMlp3: return {kFeatureDim, 32, 32, 16, 8, 1};
+    case MlpTopology::kMlp4: return {kFeatureDim, 64, 32, 32, 16, 8, 1};
+    case MlpTopology::kMlp5: return {kFeatureDim, 64, 64, 32, 32, 16, 8, 1};
+  }
+  throw std::invalid_argument("mlp_layer_widths: unknown topology");
+}
+
+nn::Network build_mlp(MlpTopology topology, util::Rng& rng) {
+  const auto widths = mlp_layer_widths(topology);
+  nn::Network net;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    net.emplace<nn::Dense>(widths[i], widths[i + 1]);
+    if (i + 2 < widths.size()) {
+      net.emplace<nn::ReLU>();
+    }
+  }
+  net.emplace<nn::Sigmoid>();
+  net.init_weights(rng);
+  return net;
+}
+
+double SuccessPredictor::predict(const modelgen::ArchSpec& spec, double q,
+                                 double t) const {
+  const nn::Tensor input = encode_features_tensor(spec, q, t, scale_);
+  const nn::Tensor output = net_.forward(input, /*train=*/false);
+  // The sigmoid head can saturate to exactly 0/1 in float; keep the
+  // estimate a proper probability so Eq. 8 never sees a certain outcome.
+  return std::clamp(static_cast<double>(output[0]), 1e-6, 1.0 - 1e-6);
+}
+
+MlpTrainResult train_mlp(MlpTopology topology,
+                         const std::vector<modelgen::ArchSpec>& specs,
+                         const std::vector<MlpSample>& samples,
+                         const MlpTrainParams& params, util::Rng& rng,
+                         const FeatureScale& scale) {
+  if (samples.empty()) {
+    throw std::invalid_argument("train_mlp: no samples");
+  }
+  for (const auto& s : samples) {
+    if (s.model_id >= specs.size()) {
+      throw std::invalid_argument("train_mlp: sample references unknown spec");
+    }
+  }
+
+  // Pre-encode features once.
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(samples.size());
+  for (const auto& s : samples) {
+    inputs.push_back(
+        encode_features_tensor(specs[s.model_id], s.q, s.t, scale));
+  }
+
+  // Shuffled split into train/validation.
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  const auto val_count = static_cast<std::size_t>(
+      static_cast<double>(samples.size()) * params.validation_fraction);
+  const std::size_t train_count = samples.size() - val_count;
+
+  nn::Network net = build_mlp(topology, rng);
+  nn::Adam optimizer(params.learning_rate);
+  MlpTrainCurve curve;
+
+  nn::Tensor target(nn::Shape{1, 1, 1});
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    double train_acc = 0.0;
+    std::size_t in_batch = 0;
+    net.zero_grads();
+    for (std::size_t k = 0; k < train_count; ++k) {
+      const std::size_t idx = order[k];
+      const nn::Tensor pred = net.forward(inputs[idx], /*train=*/true);
+      target[0] = static_cast<float>(samples[idx].label);
+      const auto loss = nn::mse_loss(pred, target);
+      train_acc += loss.value;
+      net.backward(loss.grad);
+      if (++in_batch == static_cast<std::size_t>(params.batch_size)) {
+        optimizer.step(net, static_cast<double>(in_batch));
+        net.zero_grads();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.step(net, static_cast<double>(in_batch));
+      net.zero_grads();
+    }
+    curve.train_loss.push_back(train_acc / static_cast<double>(train_count));
+
+    double val_acc = 0.0;
+    for (std::size_t k = train_count; k < samples.size(); ++k) {
+      const std::size_t idx = order[k];
+      const nn::Tensor pred = net.forward(inputs[idx], /*train=*/false);
+      target[0] = static_cast<float>(samples[idx].label);
+      val_acc += nn::mse_loss(pred, target).value;
+    }
+    curve.validation_loss.push_back(
+        val_count > 0 ? val_acc / static_cast<double>(val_count) : 0.0);
+  }
+
+  return MlpTrainResult{SuccessPredictor(std::move(net), scale),
+                        std::move(curve)};
+}
+
+}  // namespace sfn::quality

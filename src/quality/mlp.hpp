@@ -1,0 +1,69 @@
+#pragma once
+
+#include "modelgen/arch_spec.hpp"
+#include "nn/network.hpp"
+#include "quality/features.hpp"
+#include "quality/records.hpp"
+
+#include <vector>
+
+namespace sfn::quality {
+
+/// The five MLP topologies of paper §5.2. MLP3 (48-32-32-16-8-1) is the
+/// one the paper adopts after comparing convergence speed and final loss.
+enum class MlpTopology { kMlp1, kMlp2, kMlp3, kMlp4, kMlp5 };
+
+/// Hidden+output layer widths for a topology (input is kFeatureDim wide).
+std::vector<int> mlp_layer_widths(MlpTopology topology);
+
+/// Build the MLP: Dense/ReLU hidden stack with a Sigmoid head so the
+/// output is a probability r-hat in (0, 1).
+nn::Network build_mlp(MlpTopology topology, util::Rng& rng);
+
+struct MlpTrainParams {
+  int epochs = 60;
+  int batch_size = 16;
+  double learning_rate = 3e-3;
+  double validation_fraction = 0.2;
+};
+
+/// Per-epoch training and validation loss (for the Figure 5 reproduction).
+struct MlpTrainCurve {
+  std::vector<double> train_loss;
+  std::vector<double> validation_loss;
+};
+
+/// The trained success-rate predictor r-hat_{k,q,t} = f_MLP(F_{k,q,t}).
+class SuccessPredictor {
+ public:
+  SuccessPredictor(nn::Network net, FeatureScale scale)
+      : net_(std::move(net)), scale_(scale) {}
+
+  /// Predicted probability that `spec` meets U(q, t) on a random problem.
+  [[nodiscard]] double predict(const modelgen::ArchSpec& spec, double q,
+                               double t) const;
+
+  [[nodiscard]] nn::Network& network() { return net_; }
+  [[nodiscard]] const nn::Network& network() const { return net_; }
+  [[nodiscard]] const FeatureScale& scale() const { return scale_; }
+
+ private:
+  mutable nn::Network net_;  // forward() caches activations internally.
+  FeatureScale scale_;
+};
+
+/// Train an MLP on labelled samples; specs[model_id] provides the
+/// architecture features for each sample. Returns the predictor and the
+/// loss curve. Deterministic given `rng`.
+struct MlpTrainResult {
+  SuccessPredictor predictor;
+  MlpTrainCurve curve;
+};
+
+MlpTrainResult train_mlp(MlpTopology topology,
+                         const std::vector<modelgen::ArchSpec>& specs,
+                         const std::vector<MlpSample>& samples,
+                         const MlpTrainParams& params, util::Rng& rng,
+                         const FeatureScale& scale = {});
+
+}  // namespace sfn::quality

@@ -1,0 +1,74 @@
+#include "quality/records.hpp"
+
+#include <algorithm>
+
+namespace sfn::quality {
+
+double ModelRecords::success_rate(double q, double t) const {
+  if (records.empty()) {
+    return 0.0;
+  }
+  const auto hits = std::count_if(
+      records.begin(), records.end(), [&](const ExecutionRecord& r) {
+        return r.quality_loss <= q && r.seconds <= t;
+      });
+  return static_cast<double>(hits) / static_cast<double>(records.size());
+}
+
+double ModelRecords::mean_quality_loss() const {
+  if (records.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& r : records) {
+    acc += r.quality_loss;
+  }
+  return acc / static_cast<double>(records.size());
+}
+
+double ModelRecords::mean_seconds() const {
+  if (records.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& r : records) {
+    acc += r.seconds;
+  }
+  return acc / static_cast<double>(records.size());
+}
+
+std::vector<MlpSample> generate_mlp_samples(
+    const std::vector<ModelRecords>& all_records, int samples_per_model,
+    util::Rng& rng) {
+  // Find the global ranges so random requirements are plausible for every
+  // model rather than trivially all-pass / all-fail.
+  double max_q = 0.0;
+  double max_t = 0.0;
+  for (const auto& model : all_records) {
+    for (const auto& r : model.records) {
+      max_q = std::max(max_q, r.quality_loss);
+      max_t = std::max(max_t, r.seconds);
+    }
+  }
+  if (max_q == 0.0) max_q = 1.0;
+  if (max_t == 0.0) max_t = 1.0;
+
+  std::vector<MlpSample> samples;
+  samples.reserve(all_records.size() *
+                  static_cast<std::size_t>(samples_per_model));
+  for (const auto& model : all_records) {
+    for (int s = 0; s < samples_per_model; ++s) {
+      MlpSample sample;
+      sample.model_id = model.model_id;
+      // Sample requirements across [0, 1.5x] of the observed maxima so the
+      // MLP sees both unreachable and trivially satisfied regions.
+      sample.q = rng.uniform(0.0, 1.5 * max_q);
+      sample.t = rng.uniform(0.0, 1.5 * max_t);
+      sample.label = model.success_rate(sample.q, sample.t);
+      samples.push_back(sample);
+    }
+  }
+  return samples;
+}
+
+}  // namespace sfn::quality

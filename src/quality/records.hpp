@@ -1,0 +1,46 @@
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace sfn::quality {
+
+/// One execution record ER^k_n: model k ran input problem n and produced
+/// this quality loss in this much time (paper §5.1).
+struct ExecutionRecord {
+  double quality_loss = 0.0;
+  double seconds = 0.0;
+};
+
+/// All execution records of one model across the problem set.
+struct ModelRecords {
+  std::size_t model_id = 0;
+  std::vector<ExecutionRecord> records;
+
+  /// The label r_{k,q,t}: fraction of records meeting U(q, t), i.e.
+  /// quality_loss <= q AND seconds <= t.
+  [[nodiscard]] double success_rate(double q, double t) const;
+
+  [[nodiscard]] double mean_quality_loss() const;
+  [[nodiscard]] double mean_seconds() const;
+};
+
+/// A labelled training sample for the success-rate MLP.
+struct MlpSample {
+  std::size_t model_id = 0;
+  double q = 0.0;
+  double t = 0.0;
+  double label = 0.0;  ///< r_{k,q,t}.
+};
+
+/// Generate `samples_per_model` labelled samples per model by drawing
+/// random user requirements (q, t) spanning the observed record ranges
+/// (paper §5.1: "by choosing different combinations of q and t, we can
+/// generate as many samples as possible").
+std::vector<MlpSample> generate_mlp_samples(
+    const std::vector<ModelRecords>& all_records, int samples_per_model,
+    util::Rng& rng);
+
+}  // namespace sfn::quality

@@ -1,0 +1,54 @@
+#include "quality/selector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfn::quality {
+
+double expected_total_seconds(double success_probability,
+                              double model_seconds, double pcg_seconds) {
+  return success_probability * model_seconds +
+         (1.0 - success_probability) * pcg_seconds;
+}
+
+std::vector<CandidateScore> select_models(
+    const SuccessPredictor& predictor,
+    const std::vector<modelgen::ArchSpec>& specs,
+    const std::vector<double>& model_seconds, double pcg_seconds, double q,
+    double t, std::size_t max_selected) {
+  if (specs.size() != model_seconds.size()) {
+    throw std::invalid_argument("select_models: specs/seconds size mismatch");
+  }
+  std::vector<CandidateScore> scores;
+  scores.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    CandidateScore s;
+    s.model_id = k;
+    s.success_probability = predictor.predict(specs[k], q, t);
+    s.model_seconds = model_seconds[k];
+    s.expected_seconds = expected_total_seconds(s.success_probability,
+                                                s.model_seconds, pcg_seconds);
+    s.selected = s.expected_seconds < t;
+    scores.push_back(s);
+  }
+
+  // Enforce the cap: keep the `max_selected` highest-probability models
+  // among those passing the Eq. 8 gate.
+  std::vector<std::size_t> passing;
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    if (scores[k].selected) {
+      passing.push_back(k);
+    }
+  }
+  if (passing.size() > max_selected) {
+    std::sort(passing.begin(), passing.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a].success_probability > scores[b].success_probability;
+    });
+    for (std::size_t i = max_selected; i < passing.size(); ++i) {
+      scores[passing[i]].selected = false;
+    }
+  }
+  return scores;
+}
+
+}  // namespace sfn::quality

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "quality/mlp.hpp"
+
+#include <vector>
+
+namespace sfn::quality {
+
+/// A model candidate as seen by the offline selector: its architecture,
+/// its measured mean execution time, and the MLP's predicted success rate
+/// for the active user requirement.
+struct CandidateScore {
+  std::size_t model_id = 0;
+  double success_probability = 0.0;  ///< r-hat from the MLP.
+  double model_seconds = 0.0;        ///< T_NNk: mean simulation time.
+  double expected_seconds = 0.0;     ///< T_total of Eq. 8.
+  bool selected = false;
+};
+
+/// Paper Eq. 8: the expected total time accounting for the restart risk —
+/// T_total = r-hat * T_model + (1 - r-hat) * T_pcg. A model is kept only
+/// if T_total < t, guaranteeing an expected net win even when some runs
+/// must be redone with PCG.
+double expected_total_seconds(double success_probability,
+                              double model_seconds, double pcg_seconds);
+
+/// Score every candidate against U(q, t) and mark the selected ones.
+/// `max_selected` caps the runtime set (the paper lands on ~5 models so
+/// the switch decision stays cheap); the highest-probability candidates
+/// win ties for the cap.
+std::vector<CandidateScore> select_models(
+    const SuccessPredictor& predictor,
+    const std::vector<modelgen::ArchSpec>& specs,
+    const std::vector<double>& model_seconds, double pcg_seconds, double q,
+    double t, std::size_t max_selected = 5);
+
+}  // namespace sfn::quality

@@ -1,0 +1,114 @@
+#include "runtime/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfn::runtime {
+
+std::string to_string(Decision d) {
+  switch (d) {
+    case Decision::kKeep: return "keep";
+    case Decision::kSwitchFaster: return "switch-faster";
+    case Decision::kSwitchAccurate: return "switch-accurate";
+    case Decision::kRestartPcg: return "restart-pcg";
+  }
+  return "?";
+}
+
+ModelSwitchController::ModelSwitchController(
+    ControllerParams params, std::vector<RuntimeCandidate> candidates,
+    const QualityDatabase* database, double q, int total_steps)
+    : params_(params),
+      candidates_(std::move(candidates)),
+      database_(database),
+      q_(q),
+      total_steps_(total_steps),
+      extrapolator_(params.predictor) {
+  if (candidates_.empty()) {
+    throw std::invalid_argument("ModelSwitchController: no candidates");
+  }
+  if (database_ == nullptr || database_->empty()) {
+    throw std::invalid_argument(
+        "ModelSwitchController: quality database required");
+  }
+  // Algorithm 2 line 1: start with the highest-probability candidate.
+  current_ = static_cast<std::size_t>(std::distance(
+      candidates_.begin(),
+      std::max_element(candidates_.begin(), candidates_.end(),
+                       [](const RuntimeCandidate& a,
+                          const RuntimeCandidate& b) {
+                         return a.probability < b.probability;
+                       })));
+}
+
+Decision ModelSwitchController::decide(double predicted_quality) const {
+  // "Close to q": within the keep band just below the requirement —
+  // neither quality headroom worth spending nor a violation.
+  if (predicted_quality <= q_ &&
+      predicted_quality >= q_ * (1.0 - params_.keep_band)) {
+    return Decision::kKeep;
+  }
+  if (predicted_quality < q_) {
+    // Comfortably under budget: trade accuracy for speed — but only into
+    // a model whose offline mean quality itself meets the requirement,
+    // so a noisy prediction cannot downshift the run into a model that
+    // violates q on the average problem.
+    const bool can_downshift =
+        current_ > 0 && candidates_[current_ - 1].mean_quality <= q_;
+    return can_downshift ? Decision::kSwitchFaster : Decision::kKeep;
+  }
+  // Predicted violation: escalate accuracy if possible.
+  if (current_ + 1 < candidates_.size()) {
+    return Decision::kSwitchAccurate;
+  }
+  // Already on the most accurate model: restart only on a clear
+  // violation; marginal predictions ride out the best model we have.
+  return predicted_quality > q_ * params_.restart_margin
+             ? Decision::kRestartPcg
+             : Decision::kKeep;
+}
+
+std::optional<Decision> ModelSwitchController::on_step(int step,
+                                                       double cum_div_norm) {
+  if (restart_) {
+    return std::nullopt;
+  }
+  extrapolator_.observe(step, cum_div_norm);
+  if (!extrapolator_.at_check_point(step)) {
+    return std::nullopt;
+  }
+  const auto predicted_final = extrapolator_.predict_final(total_steps_ - 1);
+  if (!predicted_final.has_value()) {
+    return std::nullopt;
+  }
+  last_predicted_quality_ = database_->predict_quality_loss(
+      *predicted_final, params_.predictor.knn_k);
+
+  const Decision decision = decide(last_predicted_quality_);
+  SwitchEvent event;
+  event.step = step;
+  event.decision = decision;
+  event.predicted_quality = last_predicted_quality_;
+  event.from_candidate = current_;
+
+  switch (decision) {
+    case Decision::kKeep:
+      break;
+    case Decision::kSwitchFaster:
+      --current_;
+      extrapolator_.reset_window();
+      break;
+    case Decision::kSwitchAccurate:
+      ++current_;
+      extrapolator_.reset_window();
+      break;
+    case Decision::kRestartPcg:
+      restart_ = true;
+      break;
+  }
+  event.to_candidate = current_;
+  events_.push_back(event);
+  return decision;
+}
+
+}  // namespace sfn::runtime

@@ -1,0 +1,104 @@
+#pragma once
+
+#include "runtime/predictor.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sfn::runtime {
+
+/// A model as seen by the runtime controller. Candidates are ordered from
+/// fastest/least-accurate to slowest/most-accurate (by offline mean
+/// quality loss), which is the axis Algorithm 2 walks when switching.
+struct RuntimeCandidate {
+  std::size_t model_id = 0;     ///< Caller-owned identifier.
+  double probability = 0.0;     ///< MLP success probability for U(q, t).
+  double mean_seconds = 0.0;    ///< Offline mean simulation time.
+  double mean_quality = 0.0;    ///< Offline mean quality loss.
+};
+
+/// Decision taken at a check point (paper Algorithm 2, lines 9-17).
+enum class Decision {
+  kKeep,            ///< Q'loss close to q: stay on the current model.
+  kSwitchFaster,    ///< Q'loss comfortably below q: drop accuracy for speed.
+  kSwitchAccurate,  ///< Q'loss above q: pay for accuracy.
+  kRestartPcg,      ///< No model can meet q: redo with the exact solver.
+};
+
+struct ControllerParams {
+  PredictorParams predictor;
+  /// "Close to q" band: keep the model when Q'loss is within
+  /// [q * (1 - keep_band), q].
+  double keep_band = 0.35;
+  /// Best-effort margin before giving up: when already on the most
+  /// accurate model, restart with PCG only if the predicted loss exceeds
+  /// q by this factor; below it, ride out the most accurate model (the
+  /// paper's runtime "makes best efforts" — a restart throws away all
+  /// neural progress and should be reserved for clear violations, since
+  /// the KNN prediction itself carries error).
+  double restart_margin = 1.5;
+};
+
+/// Event log entry for analysis (Table 3's time distribution and the
+/// switching traces shown in the paper's runtime example).
+struct SwitchEvent {
+  int step = 0;
+  Decision decision = Decision::kKeep;
+  double predicted_quality = 0.0;
+  std::size_t from_candidate = 0;
+  std::size_t to_candidate = 0;
+};
+
+/// The quality-aware model-switch state machine. It is substrate-agnostic:
+/// feed it per-step CumDivNorm telemetry, read back which candidate to run
+/// next; the simulation session (src/core) owns the actual networks.
+class ModelSwitchController {
+ public:
+  /// `candidates` must be ordered fastest -> most accurate. The initial
+  /// model is the one with the highest MLP probability (Algorithm 2
+  /// line 1). `q` is the quality-loss requirement, `total_steps` the
+  /// simulation length.
+  ModelSwitchController(ControllerParams params,
+                        std::vector<RuntimeCandidate> candidates,
+                        const QualityDatabase* database, double q,
+                        int total_steps);
+
+  [[nodiscard]] std::size_t current_candidate() const { return current_; }
+  [[nodiscard]] const RuntimeCandidate& current() const {
+    return candidates_[current_];
+  }
+
+  /// Record one completed step; at check points this evaluates the
+  /// predictor and possibly switches. Returns the decision when a check
+  /// happened, nullopt otherwise. After kRestartPcg the controller is
+  /// inert (the session is expected to fall back to PCG).
+  std::optional<Decision> on_step(int step, double cum_div_norm);
+
+  [[nodiscard]] bool restart_requested() const { return restart_; }
+  [[nodiscard]] const std::vector<SwitchEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] double last_predicted_quality() const {
+    return last_predicted_quality_;
+  }
+
+ private:
+  Decision decide(double predicted_quality) const;
+
+  ControllerParams params_;
+  std::vector<RuntimeCandidate> candidates_;
+  const QualityDatabase* database_;
+  double q_;
+  int total_steps_;
+  std::size_t current_ = 0;
+  bool restart_ = false;
+  double last_predicted_quality_ = 0.0;
+  CumDivNormExtrapolator extrapolator_;
+  std::vector<SwitchEvent> events_;
+};
+
+/// Human-readable decision name.
+std::string to_string(Decision d);
+
+}  // namespace sfn::runtime

@@ -1,0 +1,57 @@
+#include "runtime/predictor.hpp"
+
+namespace sfn::runtime {
+
+void CumDivNormExtrapolator::observe(int step, double cum_div_norm) {
+  if (step < params_.warmup_steps) {
+    return;
+  }
+  // Position within the current check interval.
+  const int interval_pos =
+      (step - params_.warmup_steps) % params_.check_interval;
+  if (interval_pos < params_.skip_per_interval) {
+    return;  // Unstable head of the interval (paper skips 2 of 5).
+  }
+  window_steps_.push_back(static_cast<double>(step));
+  window_values_.push_back(cum_div_norm);
+  // Keep only the points of the current interval: intervals hold
+  // (check_interval - skip_per_interval) usable samples.
+  const auto keep = static_cast<std::size_t>(params_.check_interval -
+                                             params_.skip_per_interval);
+  if (window_steps_.size() > keep) {
+    window_steps_.erase(window_steps_.begin());
+    window_values_.erase(window_values_.begin());
+  }
+}
+
+bool CumDivNormExtrapolator::at_check_point(int step) const {
+  if (step < params_.warmup_steps) {
+    return false;
+  }
+  return (step - params_.warmup_steps + 1) % params_.check_interval == 0;
+}
+
+std::optional<double> CumDivNormExtrapolator::predict_final(
+    int final_step) const {
+  if (window_steps_.size() < 2) {
+    return std::nullopt;
+  }
+  const auto fit = stats::linear_fit(window_steps_, window_values_);
+  return fit.predict(static_cast<double>(final_step));
+}
+
+void CumDivNormExtrapolator::reset_window() {
+  window_steps_.clear();
+  window_values_.clear();
+}
+
+void QualityDatabase::add(double cum_div_norm_final, double quality_loss) {
+  knn_.insert(cum_div_norm_final, quality_loss);
+}
+
+double QualityDatabase::predict_quality_loss(double cum_div_norm_final,
+                                             std::size_t k) const {
+  return knn_.predict(cum_div_norm_final, k);
+}
+
+}  // namespace sfn::runtime

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "stats/knn.hpp"
+#include "stats/linreg.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sfn::runtime {
+
+/// Online quality-loss prediction (paper §6.1), two stages:
+///  1. extrapolate CumDivNorm to the final step with a linear regression
+///     over the last check interval (skipping its first two steps, where
+///     the growth rate has not stabilised);
+///  2. map the extrapolated CumDivNorm_final to a predicted Qloss via
+///     k-nearest neighbours over an offline database (k = 4).
+struct PredictorParams {
+  int check_interval = 5;  ///< L: steps between model-switch checks.
+  int warmup_steps = 5;    ///< Paper: "skip the first five time steps".
+  int skip_per_interval = 2;  ///< Unstable head of each interval.
+  std::size_t knn_k = 4;
+};
+
+/// Rolling CumDivNorm extrapolator. Feed every step's cumulative DivNorm;
+/// at the end of each check interval (and never during warmup) it can fit
+/// f(x) = a x + b through the interval's stable tail and extrapolate.
+class CumDivNormExtrapolator {
+ public:
+  explicit CumDivNormExtrapolator(PredictorParams params = {})
+      : params_(params) {}
+
+  /// Record one step's cumulative DivNorm (steps are 0-based and must
+  /// arrive in order).
+  void observe(int step, double cum_div_norm);
+
+  /// True when `step` completes a check interval past warmup.
+  [[nodiscard]] bool at_check_point(int step) const;
+
+  /// Extrapolated CumDivNorm at `final_step`; nullopt until at least one
+  /// full interval of usable points exists.
+  [[nodiscard]] std::optional<double> predict_final(int final_step) const;
+
+  /// Clear the rolling window (used after a model switch so stale slope
+  /// data from the previous model does not pollute the next fit).
+  void reset_window();
+
+  [[nodiscard]] const PredictorParams& params() const { return params_; }
+
+ private:
+  PredictorParams params_;
+  std::vector<double> window_steps_;
+  std::vector<double> window_values_;
+};
+
+/// Offline (CumDivNorm_final, Qloss) database with KNN lookup, built from
+/// short runs on small problems (paper: 128 small problems, BST-indexed;
+/// stats::Knn1D provides the same O(log n + k) query).
+class QualityDatabase {
+ public:
+  void add(double cum_div_norm_final, double quality_loss);
+
+  /// Mean Qloss of the k nearest stored CumDivNorm_final keys.
+  [[nodiscard]] double predict_quality_loss(double cum_div_norm_final,
+                                            std::size_t k = 4) const;
+
+  [[nodiscard]] std::size_t size() const { return knn_.size(); }
+  [[nodiscard]] bool empty() const { return knn_.empty(); }
+
+  /// Stored (CumDivNorm_final, Qloss) pairs (for persistence/reports).
+  [[nodiscard]] const std::vector<std::pair<double, double>>& entries()
+      const {
+    return knn_.items();
+  }
+
+ private:
+  stats::Knn1D knn_;
+};
+
+}  // namespace sfn::runtime

@@ -1,0 +1,83 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sfn::stats {
+
+namespace {
+
+/// Ranks with ties replaced by their average rank (1-based).
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+      ++j;
+    }
+    // All of order[i..j] share the same value; give them the mean rank.
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return sxy / denom;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("spearman: size mismatch");
+  }
+  const auto rx = average_ranks(x);
+  const auto ry = average_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace sfn::stats

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <span>
+
+namespace sfn::stats {
+
+/// Pearson product-moment correlation coefficient (paper Eq. 10), used to
+/// establish that CumDivNorm tracks the per-step quality loss. Returns 0
+/// when either input has zero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation coefficient (paper Eq. 11): Pearson on ranks,
+/// with average ranks assigned to ties.
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace sfn::stats

@@ -1,0 +1,96 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sfn::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) {
+    throw std::invalid_argument("percentile of empty range");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxplotSummary boxplot(std::span<const double> xs) {
+  if (xs.empty()) {
+    throw std::invalid_argument("boxplot of empty range");
+  }
+  BoxplotSummary s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.q1 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.q3 = percentile(xs, 75.0);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  const double iqr = s.q3 - s.q1;
+  const double lo_whisker = s.q1 - 1.5 * iqr;
+  const double hi_whisker = s.q3 + 1.5 * iqr;
+  s.outliers = static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(), [&](double x) {
+        return x < lo_whisker || x > hi_whisker;
+      }));
+  return s;
+}
+
+double Histogram::fraction(std::size_t b) const {
+  const std::size_t n = total();
+  if (n == 0 || b >= counts.size()) {
+    return 0.0;
+  }
+  return static_cast<double>(counts[b]) / static_cast<double>(n);
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("histogram needs bins > 0 and hi > lo");
+  }
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto b = static_cast<long long>(std::floor((x - lo) / width));
+    b = std::clamp<long long>(b, 0, static_cast<long long>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+}  // namespace sfn::stats

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfn::stats {
+
+/// Five-number boxplot summary (paper Figures 9 and 11 report boxplots of
+/// quality loss: 25th/75th percentile box, median, and outlier whiskers).
+struct BoxplotSummary {
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile.
+  double median = 0.0;
+  double q3 = 0.0;      ///< 75th percentile.
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation.
+  std::size_t outliers = 0;  ///< Points beyond 1.5*IQR whiskers.
+};
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (divides by n-1; returns 0 for n < 2).
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+BoxplotSummary boxplot(std::span<const double> xs);
+
+/// Histogram with `bins` equal-width buckets over [lo, hi); values outside
+/// the range are clamped into the edge buckets (paper Figure 1).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] double bin_width() const {
+    return (hi - lo) / static_cast<double>(counts.size());
+  }
+  /// Fraction of all samples in bucket b.
+  [[nodiscard]] double fraction(std::size_t b) const;
+  [[nodiscard]] std::size_t total() const;
+};
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins);
+
+}  // namespace sfn::stats

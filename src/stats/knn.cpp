@@ -1,0 +1,77 @@
+#include "stats/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfn::stats {
+
+void Knn1D::insert(double key, double value) {
+  data_.emplace_back(key, value);
+  sorted_ = false;
+}
+
+void Knn1D::build(std::vector<std::pair<double, double>> pairs) {
+  data_ = std::move(pairs);
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Knn1D::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+std::vector<std::pair<double, double>> Knn1D::nearest(double key,
+                                                      std::size_t k) const {
+  if (data_.empty()) {
+    throw std::logic_error("Knn1D::nearest on empty database");
+  }
+  ensure_sorted();
+  k = std::min(k, data_.size());
+
+  // Two-pointer expansion outward from the insertion point.
+  auto it = std::lower_bound(
+      data_.begin(), data_.end(), key,
+      [](const std::pair<double, double>& p, double v) { return p.first < v; });
+  auto lo = it;
+  auto hi = it;
+
+  std::vector<std::pair<double, double>> result;
+  result.reserve(k);
+  while (result.size() < k) {
+    const bool has_lo = lo != data_.begin();
+    const bool has_hi = hi != data_.end();
+    if (has_lo && has_hi) {
+      const double dlo = std::abs(std::prev(lo)->first - key);
+      const double dhi = std::abs(hi->first - key);
+      if (dlo <= dhi) {
+        --lo;
+        result.push_back(*lo);
+      } else {
+        result.push_back(*hi);
+        ++hi;
+      }
+    } else if (has_lo) {
+      --lo;
+      result.push_back(*lo);
+    } else {
+      result.push_back(*hi);
+      ++hi;
+    }
+  }
+  return result;
+}
+
+double Knn1D::predict(double key, std::size_t k) const {
+  const auto picks = nearest(key, k);
+  double acc = 0.0;
+  for (const auto& [_, value] : picks) {
+    acc += value;
+  }
+  return acc / static_cast<double>(picks.size());
+}
+
+}  // namespace sfn::stats

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sfn::stats {
+
+/// One-dimensional k-nearest-neighbour regressor over (key, value) pairs.
+///
+/// The paper's runtime (§6.1) stores (CumDivNorm_final, Qloss) pairs from
+/// small offline problems in a binary search tree and, online, averages the
+/// Qloss of the k pairs whose key is closest to the extrapolated
+/// CumDivNorm_final (k = 4 by default). A sorted array with binary search
+/// gives the same O(log n + k) lookup with better locality.
+class Knn1D {
+ public:
+  Knn1D() = default;
+
+  void insert(double key, double value);
+
+  /// Bulk-build from pairs (invalidates prior content).
+  void build(std::vector<std::pair<double, double>> pairs);
+
+  /// Average value of the k nearest keys. Throws if empty.
+  [[nodiscard]] double predict(double key, std::size_t k = 4) const;
+
+  /// The k nearest (key, value) pairs, nearest first.
+  [[nodiscard]] std::vector<std::pair<double, double>> nearest(
+      double key, std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// All stored (key, value) pairs in sorted order (for persistence).
+  [[nodiscard]] const std::vector<std::pair<double, double>>& items() const {
+    ensure_sorted();
+    return data_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::pair<double, double>> data_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sfn::stats

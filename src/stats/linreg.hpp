@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+namespace sfn::stats {
+
+/// Ordinary least-squares fit of y = slope*x + intercept.
+///
+/// The runtime quality predictor (paper §6.1) fits this to the last few
+/// CumDivNorm samples and extrapolates to the final time step.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double predict(double x) const {
+    return slope * x + intercept;
+  }
+};
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace sfn::stats

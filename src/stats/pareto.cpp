@@ -1,0 +1,43 @@
+#include "stats/pareto.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sfn::stats {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.cost <= b.cost && a.loss <= b.loss &&
+         (a.cost < b.cost || a.loss < b.loss);
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<ParetoPoint>& points) {
+  // Sweep by ascending cost; a point is on the front iff its loss is
+  // strictly below every loss seen at smaller-or-equal cost.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].cost != points[b].cost) {
+      return points[a].cost < points[b].cost;
+    }
+    return points[a].loss < points[b].loss;
+  });
+
+  std::vector<std::size_t> front;
+  double best_loss = std::numeric_limits<double>::infinity();
+  double front_cost = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t idx : order) {
+    const auto& p = points[idx];
+    if (p.loss < best_loss) {
+      best_loss = p.loss;
+      front_cost = p.cost;
+      front.push_back(idx);
+    } else if (p.loss == best_loss && p.cost == front_cost) {
+      // Duplicate of the current front point: non-dominated, keep it.
+      front.push_back(idx);
+    }
+  }
+  std::sort(front.begin(), front.end());
+  return front;
+}
+
+}  // namespace sfn::stats

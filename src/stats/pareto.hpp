@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfn::stats {
+
+/// A candidate point in (cost, loss) space, both to be minimised.
+struct ParetoPoint {
+  double cost = 0.0;  ///< e.g. model execution time.
+  double loss = 0.0;  ///< e.g. simulation quality loss.
+  std::size_t id = 0; ///< Caller-owned identifier.
+};
+
+/// Indices (into `points`) of the Pareto-optimal set under minimisation of
+/// both coordinates (paper §4, Figure 3: "models that have the lowest time
+/// cost, the lowest quality loss, or both"). A point is kept iff no other
+/// point is <= in both coordinates and < in at least one.
+std::vector<std::size_t> pareto_front(const std::vector<ParetoPoint>& points);
+
+/// True iff a dominates b (a <= b component-wise and strictly < in one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace sfn::stats

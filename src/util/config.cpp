@@ -1,0 +1,64 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace sfn::util {
+
+long long env_int(const std::string& name, long long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+namespace {
+
+bool parse_flag(std::string_view arg, std::string_view name, long long* out) {
+  if (!arg.starts_with(name)) {
+    return false;
+  }
+  arg.remove_prefix(name.size());
+  if (arg.empty() || arg.front() != '=') {
+    return false;
+  }
+  arg.remove_prefix(1);
+  char* end = nullptr;
+  const std::string value(arg);
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::from_args(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.scale = static_cast<int>(env_int("SMARTFLUIDNET_SCALE", cfg.scale));
+  cfg.max_grid =
+      static_cast<int>(env_int("SMARTFLUIDNET_MAX_GRID", cfg.max_grid));
+  cfg.time_steps =
+      static_cast<int>(env_int("SMARTFLUIDNET_STEPS", cfg.time_steps));
+  for (int i = 1; i < argc; ++i) {
+    long long v = 0;
+    const std::string_view arg = argv[i];
+    if (parse_flag(arg, "--scale", &v)) cfg.scale = static_cast<int>(v);
+    if (parse_flag(arg, "--max-grid", &v)) cfg.max_grid = static_cast<int>(v);
+    if (parse_flag(arg, "--steps", &v)) cfg.time_steps = static_cast<int>(v);
+    if (parse_flag(arg, "--seed", &v)) {
+      cfg.seed = static_cast<unsigned long long>(v);
+    }
+  }
+  if (cfg.scale < 1) cfg.scale = 1;
+  if (cfg.max_grid < 16) cfg.max_grid = 16;
+  if (cfg.time_steps < 8) cfg.time_steps = 8;
+  return cfg;
+}
+
+}  // namespace sfn::util

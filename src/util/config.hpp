@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+namespace sfn::util {
+
+/// Experiment-scale knobs shared by every benchmark binary.
+///
+/// The paper evaluates 20,480 input problems on grids up to 1024x1024 on a
+/// Titan X GPU. On a CPU box we preserve the *shape* of every result at a
+/// reduced default scale; `scale` multiplies problem counts and
+/// `max_grid` caps the largest grid swept. Both can be overridden from the
+/// command line (`--scale=N`, `--max-grid=N`) or the environment
+/// (SMARTFLUIDNET_SCALE, SMARTFLUIDNET_MAX_GRID).
+struct BenchConfig {
+  int scale = 1;       ///< Multiplies the number of input problems.
+  int max_grid = 64;   ///< Largest grid edge used in grid-size sweeps.
+  int time_steps = 16; ///< Simulation steps per problem (paper: 128;
+                       ///< shorter here so the chaotic rollout stays
+                       ///< correlated at CPU-scale surrogate fidelity).
+  unsigned long long seed = 42;
+
+  /// Parse from argv and environment; unrecognised args are ignored so the
+  /// binaries still accept google-benchmark flags.
+  static BenchConfig from_args(int argc, char** argv);
+};
+
+/// Read an integer environment variable with a fallback.
+long long env_int(const std::string& name, long long fallback);
+
+}  // namespace sfn::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sfn::util {
+
+/// Console/CSV table used by the benchmark harness to print paper-shaped
+/// rows (e.g. Table 1's "Method / Execution Time / Avg. Quality Loss").
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns, suitable for terminal output.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (comma-separated, minimal quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 4);
+
+/// Format as scientific notation, e.g. "2.34e+08".
+std::string fmt_sci(double value, int precision = 2);
+
+/// Format as a percentage, e.g. "88.27%".
+std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace sfn::util

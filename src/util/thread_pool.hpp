@@ -1,0 +1,43 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sfn::util {
+
+/// Minimal fixed-size thread pool used to evaluate independent input
+/// problems concurrently (the paper evaluates 20,480 problems; they are
+/// embarrassingly parallel across problems, not within one).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sfn::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <chrono>
+
+namespace sfn::util {
+
+/// Monotonic wall-clock stopwatch used for all experiment timing.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals; used to
+/// attribute runtime to individual neural-network models (paper Table 3).
+class AccumulatingTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  void add(double seconds) { total_ += seconds; }
+
+  [[nodiscard]] double total_seconds() const { return total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace sfn::util

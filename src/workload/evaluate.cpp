@@ -1,0 +1,67 @@
+#include "workload/evaluate.hpp"
+
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "util/timer.hpp"
+
+#include <stdexcept>
+
+namespace sfn::workload {
+
+RunResult run_simulation(const InputProblem& problem,
+                         fluid::PoissonSolver* solver) {
+  const util::Timer timer;
+  fluid::SmokeSim sim = make_sim(problem);
+  RunResult result;
+  result.telemetry.reserve(static_cast<std::size_t>(problem.steps));
+  for (int step = 0; step < problem.steps; ++step) {
+    auto telemetry = sim.step(solver);
+    result.solve_seconds += telemetry.solve.seconds;
+    result.solve_flops += telemetry.solve.flops;
+    result.telemetry.push_back(std::move(telemetry));
+  }
+  result.final_density = sim.density();
+  result.total_seconds = timer.seconds();
+  return result;
+}
+
+double run_quality_loss(const RunResult& reference, const RunResult& approx) {
+  return fluid::quality_loss(reference.final_density, approx.final_density);
+}
+
+BatchEvaluation evaluate_batch(const std::vector<InputProblem>& problems,
+                               const std::vector<RunResult>& references,
+                               const SolverFactory& factory) {
+  if (problems.size() != references.size()) {
+    throw std::invalid_argument(
+        "evaluate_batch: problems/references size mismatch");
+  }
+  BatchEvaluation out;
+  out.runs.reserve(problems.size());
+  out.quality_loss.reserve(problems.size());
+  const util::Timer timer;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    auto solver = factory();
+    out.runs.push_back(run_simulation(problems[i], solver.get()));
+    out.quality_loss.push_back(run_quality_loss(references[i], out.runs[i]));
+    out.mean_quality_loss += out.quality_loss.back();
+  }
+  if (!problems.empty()) {
+    out.mean_quality_loss /= static_cast<double>(problems.size());
+  }
+  out.total_seconds = timer.seconds();
+  return out;
+}
+
+std::vector<RunResult> reference_runs(
+    const std::vector<InputProblem>& problems) {
+  std::vector<RunResult> refs;
+  refs.reserve(problems.size());
+  for (const auto& p : problems) {
+    fluid::PcgSolver pcg;
+    refs.push_back(run_simulation(p, &pcg));
+  }
+  return refs;
+}
+
+}  // namespace sfn::workload

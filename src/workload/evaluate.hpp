@@ -1,0 +1,48 @@
+#pragma once
+
+#include "fluid/poisson.hpp"
+#include "workload/problems.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace sfn::workload {
+
+/// Full record of one simulation run.
+struct RunResult {
+  fluid::GridF final_density;
+  std::vector<fluid::StepTelemetry> telemetry;
+  double total_seconds = 0.0;
+  double solve_seconds = 0.0;   ///< Time inside the pressure solver alone.
+  std::uint64_t solve_flops = 0;
+};
+
+/// Run a problem to completion with the given pressure solver.
+RunResult run_simulation(const InputProblem& problem,
+                         fluid::PoissonSolver* solver);
+
+/// Run a problem with a fresh solver per call (factory), so stateful
+/// solvers can be used across concurrent evaluations.
+using SolverFactory = std::function<std::unique_ptr<fluid::PoissonSolver>()>;
+
+/// Simulation quality loss of `approx` against `reference` final densities
+/// (paper Eq. 3 applied to the rendered smoke frame).
+double run_quality_loss(const RunResult& reference, const RunResult& approx);
+
+/// Evaluate a solver on every problem: returns per-problem quality loss
+/// (vs the PCG reference runs supplied) and the run results.
+struct BatchEvaluation {
+  std::vector<RunResult> runs;
+  std::vector<double> quality_loss;
+  double mean_quality_loss = 0.0;
+  double total_seconds = 0.0;
+};
+
+BatchEvaluation evaluate_batch(const std::vector<InputProblem>& problems,
+                               const std::vector<RunResult>& references,
+                               const SolverFactory& factory);
+
+/// Convenience: run the PCG reference for every problem.
+std::vector<RunResult> reference_runs(const std::vector<InputProblem>& problems);
+
+}  // namespace sfn::workload

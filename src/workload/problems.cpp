@@ -1,0 +1,55 @@
+#include "workload/problems.hpp"
+
+namespace sfn::workload {
+
+std::vector<InputProblem> generate_problems(int count,
+                                            const ProblemSetParams& params,
+                                            std::uint64_t master_seed) {
+  util::Rng master(master_seed);
+  std::vector<InputProblem> problems;
+  problems.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    util::Rng rng = master.fork();
+    InputProblem p;
+    p.seed = rng();
+    p.nx = params.grid;
+    p.ny = params.grid;
+    p.steps = params.steps;
+
+    p.turbulence.amplitude =
+        rng.uniform(params.min_turbulence, params.max_turbulence);
+    p.turbulence.octaves = static_cast<int>(rng.uniform_int(2, 4));
+    p.turbulence.base_frequency = rng.uniform(3.0, 6.0);
+
+    const int n_obstacles =
+        static_cast<int>(rng.uniform_int(0, params.max_obstacles));
+    p.obstacles = random_obstacles(n_obstacles, rng);
+
+    fluid::SmokeSource source;
+    source.cx = rng.uniform(0.3, 0.7);
+    source.cy = rng.uniform(0.08, 0.18);
+    source.radius = rng.uniform(0.05, 0.1);
+    source.density = 1.0;
+    source.velocity = rng.uniform(0.3, 0.8);
+    p.sources = {source};
+
+    p.sim.buoyancy = rng.uniform(1.0, 3.0);
+    problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+fluid::SmokeSim make_sim(const InputProblem& problem) {
+  fluid::FlagGrid flags(problem.nx, problem.ny, fluid::CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  rasterize_obstacles(problem.obstacles, &flags);
+
+  fluid::SmokeSim sim(problem.sim, std::move(flags));
+  sim.sources() = problem.sources;
+  fill_turbulent_velocity(problem.turbulence, problem.seed, &sim.velocity());
+  sim.velocity().enforce_solid_boundaries(sim.flags());
+  sim.apply_sources();
+  return sim;
+}
+
+}  // namespace sfn::workload

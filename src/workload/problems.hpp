@@ -1,0 +1,45 @@
+#pragma once
+
+#include "fluid/smoke_sim.hpp"
+#include "workload/obstacles.hpp"
+#include "workload/turbulence.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace sfn::workload {
+
+/// A self-contained, resolution-independent description of one input
+/// problem: seed-derived turbulence, obstacles and emitter settings. The
+/// paper's evaluation draws 20,480 of these; ours come from
+/// `ProblemSet::generate` with any count.
+struct InputProblem {
+  std::uint64_t seed = 0;
+  int nx = 64;
+  int ny = 64;
+  int steps = 48;  ///< Simulation length (paper default: 128).
+  fluid::SmokeParams sim;
+  TurbulenceParams turbulence;
+  std::vector<Obstacle> obstacles;
+  std::vector<fluid::SmokeSource> sources;
+};
+
+/// Knobs for random problem generation.
+struct ProblemSetParams {
+  int grid = 64;
+  int steps = 48;
+  int max_obstacles = 2;
+  double min_turbulence = 0.05;
+  double max_turbulence = 0.3;
+};
+
+/// Deterministically generate `count` diverse problems from a master seed.
+std::vector<InputProblem> generate_problems(int count,
+                                            const ProblemSetParams& params,
+                                            std::uint64_t master_seed);
+
+/// Build the initial simulation state for a problem: smoke-box boundary,
+/// rasterised obstacles, turbulent initial velocity, emitter stamped once.
+fluid::SmokeSim make_sim(const InputProblem& problem);
+
+}  // namespace sfn::workload

@@ -1,0 +1,104 @@
+#include "workload/turbulence.hpp"
+
+#include "fluid/grid2.hpp"
+
+#include <cmath>
+
+namespace sfn::workload {
+
+namespace {
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+double ValueNoise::lattice(std::int64_t ix, std::int64_t iy,
+                           std::int64_t octave) const {
+  const std::uint64_t h =
+      hash_mix(seed_ ^ hash_mix(static_cast<std::uint64_t>(ix) * 0x9e3779b1u) ^
+               hash_mix(static_cast<std::uint64_t>(iy) * 0x85ebca77u) ^
+               hash_mix(static_cast<std::uint64_t>(octave) * 0xc2b2ae3du));
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double ValueNoise::sample(double x, double y, double freq) const {
+  const double fx = x * freq;
+  const double fy = y * freq;
+  const auto ix = static_cast<std::int64_t>(std::floor(fx));
+  const auto iy = static_cast<std::int64_t>(std::floor(fy));
+  const double tx = smoothstep(fx - static_cast<double>(ix));
+  const double ty = smoothstep(fy - static_cast<double>(iy));
+  const auto octave = static_cast<std::int64_t>(freq * 1024.0);
+
+  const double v00 = lattice(ix, iy, octave);
+  const double v10 = lattice(ix + 1, iy, octave);
+  const double v01 = lattice(ix, iy + 1, octave);
+  const double v11 = lattice(ix + 1, iy + 1, octave);
+  const double v0 = v00 + tx * (v10 - v00);
+  const double v1 = v01 + tx * (v11 - v01);
+  return v0 + ty * (v1 - v0);
+}
+
+double ValueNoise::fractal(double x, double y,
+                           const TurbulenceParams& p) const {
+  double acc = 0.0;
+  double amp = 1.0;
+  double freq = p.base_frequency;
+  double norm = 0.0;
+  for (int o = 0; o < p.octaves; ++o) {
+    acc += amp * sample(x, y, freq);
+    norm += amp;
+    amp *= p.persistence;
+    freq *= 2.0;
+  }
+  return norm > 0.0 ? acc / norm : 0.0;
+}
+
+void fill_turbulent_velocity(const TurbulenceParams& params,
+                             std::uint64_t seed, fluid::MacGrid2* vel) {
+  const ValueNoise noise(seed);
+  const int nx = vel->nx();
+  const int ny = vel->ny();
+  const double dx = 1.0 / nx;
+
+  // Sample the stream function at grid nodes (cell corners) and take
+  // node differences. Discrete divergence of the resulting MAC field
+  // telescopes to exactly zero, so the initial condition is genuinely
+  // divergence-free at the discrete level (tested in workload tests).
+  fluid::GridD psi(nx + 1, ny + 1, 0.0);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      psi(i, j) = noise.fractal(i * dx, j * dx, params);
+    }
+  }
+
+  // Node differences approximate dx * (continuum gradient), so dividing by
+  // base_frequency keeps peak speeds near `amplitude` at any resolution.
+  const double scale = params.amplitude / params.base_frequency / dx;
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      vel->u()(i, j) = static_cast<float>(scale * (psi(i, j + 1) - psi(i, j)));
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      vel->v()(i, j) =
+          static_cast<float>(-scale * (psi(i + 1, j) - psi(i, j)));
+    }
+  }
+}
+
+}  // namespace sfn::workload

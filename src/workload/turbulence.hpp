@@ -1,0 +1,44 @@
+#pragma once
+
+#include "fluid/mac_grid.hpp"
+#include "util/rng.hpp"
+
+namespace sfn::workload {
+
+/// Parameters of the pseudo-random turbulent initial velocity field.
+///
+/// The paper initialises its 20,480 problems "by a pseudo-random turbulent
+/// field [wavelet turbulence]". We substitute curl noise: a multi-octave
+/// value-noise stream function psi whose curl gives a divergence-free
+/// velocity field with the same qualitative multi-scale structure.
+struct TurbulenceParams {
+  double amplitude = 0.3;   ///< Peak speed in world units.
+  int octaves = 3;          ///< Noise octaves (each doubles frequency).
+  double base_frequency = 4.0;  ///< Lattice cells across the unit domain.
+  double persistence = 0.5;     ///< Amplitude decay per octave.
+};
+
+/// Smooth seeded value noise in [-1, 1] over the unit square.
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) : seed_(seed) {}
+
+  /// Single-octave noise at frequency `freq`.
+  [[nodiscard]] double sample(double x, double y, double freq) const;
+
+  /// Multi-octave fractal noise.
+  [[nodiscard]] double fractal(double x, double y,
+                               const TurbulenceParams& p) const;
+
+ private:
+  [[nodiscard]] double lattice(std::int64_t ix, std::int64_t iy,
+                               std::int64_t octave) const;
+  std::uint64_t seed_;
+};
+
+/// Fill `vel` with the curl of a fractal stream function: exactly
+/// divergence-free in the continuum, nearly so after discretisation.
+void fill_turbulent_velocity(const TurbulenceParams& params,
+                             std::uint64_t seed, fluid::MacGrid2* vel);
+
+}  // namespace sfn::workload

@@ -1,0 +1,129 @@
+#include "modelgen/arch_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfn {
+namespace {
+
+using modelgen::ArchSpec;
+using modelgen::StageSpec;
+
+TEST(ArchSpec, TompsonHasFiveConvReluStages) {
+  const ArchSpec spec = modelgen::tompson_spec();
+  EXPECT_EQ(spec.stages.size(), 5u);
+  EXPECT_EQ(spec.in_channels, 2);
+  EXPECT_EQ(spec.out_channels, 1);
+  for (const auto& s : spec.stages) {
+    EXPECT_EQ(s.kernel, 3);
+    EXPECT_TRUE(s.relu);
+  }
+  EXPECT_TRUE(modelgen::validate(spec).empty());
+}
+
+TEST(ArchSpec, YangIsMuchCheaperThanTompson) {
+  util::Rng rng(1);
+  auto tompson = modelgen::build_network(modelgen::tompson_spec(), rng);
+  auto yang = modelgen::build_network(modelgen::yang_spec(), rng);
+  const nn::Shape in{2, 32, 32};
+  EXPECT_LT(yang.flops(in) * 4, tompson.flops(in));
+}
+
+TEST(ArchSpec, ValidateCatchesBadSpecs) {
+  ArchSpec spec = modelgen::tompson_spec();
+  spec.stages.clear();
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+
+  spec = modelgen::tompson_spec();
+  spec.stages[0].kernel = 4;
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+
+  spec = modelgen::tompson_spec();
+  spec.stages[0].channels = 0;
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+
+  spec = modelgen::tompson_spec();
+  spec.stages[0].pool = 2;  // Never unpooled.
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+
+  spec = modelgen::tompson_spec();
+  spec.stages[0].unpool = 2;  // Upsamples past input resolution.
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+
+  spec = modelgen::tompson_spec();
+  spec.stages.resize(1);
+  spec.stages[0].dropout = 1.0;
+  EXPECT_FALSE(modelgen::validate(spec).empty());
+}
+
+TEST(ArchSpec, ValidateAcceptsPooledPair) {
+  ArchSpec spec = modelgen::tompson_spec();
+  spec.stages[2].pool = 2;
+  spec.stages[2].unpool = 2;
+  EXPECT_TRUE(modelgen::validate(spec).empty());
+  EXPECT_EQ(spec.net_scale(), 1);
+  EXPECT_EQ(spec.required_divisor(), 2);
+}
+
+TEST(ArchSpec, NetworkOutputIsFullResolution) {
+  ArchSpec spec = modelgen::tompson_spec();
+  spec.stages[1].pool = 2;
+  spec.stages[1].unpool = 2;
+  util::Rng rng(2);
+  auto net = modelgen::build_network(spec, rng);
+  EXPECT_EQ(net.output_shape(nn::Shape{2, 16, 16}), (nn::Shape{1, 16, 16}));
+}
+
+TEST(ArchSpec, BuildRejectsInvalid) {
+  ArchSpec spec = modelgen::tompson_spec();
+  spec.stages[0].pool = 3;
+  util::Rng rng(3);
+  EXPECT_THROW(modelgen::build_network(spec, rng), std::invalid_argument);
+}
+
+TEST(ArchSpec, NeuronCountWeighsResolution) {
+  ArchSpec flat;
+  flat.stages = {StageSpec{.channels = 8}};
+  ArchSpec pooled;
+  pooled.stages = {StageSpec{.channels = 8, .pool = 2, .unpool = 2}};
+  // Pooling quarters the spatial resolution of the stage.
+  EXPECT_DOUBLE_EQ(flat.neuron_count(), 8.0);
+  EXPECT_DOUBLE_EQ(pooled.neuron_count(), 2.0);
+}
+
+TEST(ArchSpec, LayerCountIncludesProjection) {
+  EXPECT_EQ(modelgen::tompson_spec().layer_count(), 6);
+  EXPECT_EQ(modelgen::yang_spec().layer_count(), 2);
+}
+
+TEST(ArchSpec, ResidualStageBuildsWhenChannelsMatch) {
+  ArchSpec spec;
+  spec.stages = {StageSpec{.channels = 4},
+                 StageSpec{.channels = 4, .residual = true}};
+  util::Rng rng(4);
+  auto net = modelgen::build_network(spec, rng);
+  const std::string desc = net.describe();
+  EXPECT_NE(desc.find("ResConv2D"), std::string::npos);
+}
+
+TEST(ArchSpec, DescribeMentionsEveryStage) {
+  ArchSpec spec = modelgen::tompson_spec();
+  spec.stages[2].pool = 2;
+  spec.stages[2].unpool = 2;
+  spec.stages[4].dropout = 0.1;
+  const std::string desc = spec.describe();
+  EXPECT_NE(desc.find("p2"), std::string::npos);
+  EXPECT_NE(desc.find("u2"), std::string::npos);
+  EXPECT_NE(desc.find("d0.1"), std::string::npos);
+}
+
+TEST(ArchSpec, EqualityIgnoresName) {
+  ArchSpec a = modelgen::tompson_spec();
+  ArchSpec b = modelgen::tompson_spec();
+  b.name = "other";
+  EXPECT_TRUE(a == b);
+  b.stages[0].channels += 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace sfn

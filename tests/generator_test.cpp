@@ -1,0 +1,151 @@
+#include "modelgen/generator.hpp"
+#include "modelgen/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sfn {
+namespace {
+
+using modelgen::ArchSpec;
+using modelgen::GenerationParams;
+
+TEST(Generator, PaperScaleProduces128Models) {
+  // §4: 5 shallow + 50 narrow = 55; + 55 pooled = 110; + 18 dropout = 128.
+  util::Rng rng(1);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                GenerationParams{}, rng);
+  EXPECT_EQ(family.size(), 128u);
+}
+
+TEST(Generator, OriginCountsMatchRecipe) {
+  util::Rng rng(2);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                GenerationParams{}, rng);
+  int shallow = 0, narrow = 0, pooling = 0, dropout = 0;
+  for (const auto& m : family) {
+    if (m.origin == "shallow") ++shallow;
+    if (m.origin == "narrow") ++narrow;
+    if (m.origin == "pooling") ++pooling;
+    if (m.origin == "dropout") ++dropout;
+  }
+  EXPECT_EQ(shallow, 5);
+  EXPECT_EQ(narrow, 50);
+  EXPECT_EQ(pooling, 55);
+  EXPECT_EQ(dropout, 18);
+}
+
+TEST(Generator, AllGeneratedSpecsAreValid) {
+  util::Rng rng(3);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                GenerationParams{}, rng);
+  for (const auto& m : family) {
+    EXPECT_TRUE(modelgen::validate(m.spec).empty()) << m.spec.describe();
+  }
+}
+
+TEST(Generator, NamesAreUnique) {
+  util::Rng rng(4);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                GenerationParams{}, rng);
+  std::set<std::string> names;
+  for (const auto& m : family) {
+    names.insert(m.spec.name);
+  }
+  EXPECT_EQ(names.size(), family.size());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto fa = modelgen::generate_family(modelgen::tompson_spec(),
+                                            GenerationParams{}, a);
+  const auto fb = modelgen::generate_family(modelgen::tompson_spec(),
+                                            GenerationParams{}, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_TRUE(fa[i].spec == fb[i].spec) << i;
+  }
+}
+
+TEST(Generator, ScaledDownParamsScaleCounts) {
+  GenerationParams params;
+  params.shallow_models = 2;
+  params.narrow_variants_per_model = 3;
+  params.dropout_models = 4;
+  util::Rng rng(6);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                params, rng);
+  // 2 shallow + 6 narrow = 8; + 8 pooled = 16; + 4 dropout = 20.
+  EXPECT_EQ(family.size(), 20u);
+}
+
+TEST(Generator, ShallowModelsAreShallowerThanBase) {
+  util::Rng rng(7);
+  const auto family = modelgen::generate_family(modelgen::tompson_spec(),
+                                                GenerationParams{}, rng);
+  for (const auto& m : family) {
+    if (m.origin == "shallow") {
+      EXPECT_EQ(m.spec.stages.size(),
+                modelgen::tompson_spec().stages.size() - 1);
+    }
+  }
+}
+
+TEST(Search, MorphismsAlwaysValid) {
+  util::Rng rng(8);
+  modelgen::SearchParams params;
+  ArchSpec spec = modelgen::tompson_spec();
+  for (int i = 0; i < 200; ++i) {
+    spec = modelgen::propose_morphism(spec, params, rng);
+    ASSERT_TRUE(modelgen::validate(spec).empty()) << spec.describe();
+    ASSERT_LE(static_cast<int>(spec.stages.size()), params.max_stages);
+    for (const auto& s : spec.stages) {
+      ASSERT_LE(s.channels, params.max_channels);
+      ASSERT_LE(s.kernel, 5);
+    }
+  }
+}
+
+TEST(Search, FindsLowerObjective) {
+  // Objective rewards channel width: the climb must widen the net.
+  util::Rng rng(9);
+  modelgen::SearchParams params;
+  params.models = 3;
+  params.rounds = 10;
+  const auto objective = [](const ArchSpec& spec) {
+    double total = 0.0;
+    for (const auto& s : spec.stages) {
+      total += s.channels;
+    }
+    return 1000.0 - total;
+  };
+  const ArchSpec base = modelgen::tompson_spec();
+  const auto best =
+      modelgen::search_accurate_models(base, params, objective, rng);
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_LT(objective(best[0]), objective(base));
+  // Results are sorted by objective.
+  EXPECT_LE(objective(best[0]), objective(best[1]));
+  EXPECT_LE(objective(best[1]), objective(best[2]));
+}
+
+TEST(Search, ReturnsDistinctModels) {
+  util::Rng rng(10);
+  modelgen::SearchParams params;
+  params.models = 4;
+  const auto objective = [](const ArchSpec& spec) {
+    return static_cast<double>(spec.stages.size());
+  };
+  const auto best = modelgen::search_accurate_models(
+      modelgen::tompson_spec(), params, objective, rng);
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    for (std::size_t j = i + 1; j < best.size(); ++j) {
+      EXPECT_FALSE(best[i] == best[j]) << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfn

@@ -1,0 +1,182 @@
+#include "fluid/flags.hpp"
+#include "fluid/grid2.hpp"
+#include "fluid/mac_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfn {
+namespace {
+
+using fluid::CellType;
+using fluid::FlagGrid;
+using fluid::GridF;
+using fluid::MacGrid2;
+
+TEST(Grid2, IndexingRowMajor) {
+  GridF g(4, 3, 0.0f);
+  g(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(g[2 * 4 + 1], 5.0f);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.size(), 12u);
+}
+
+TEST(Grid2, FillAndSum) {
+  GridF g(5, 5, 2.0f);
+  EXPECT_DOUBLE_EQ(g.sum(), 50.0);
+  g.fill(0.0f);
+  EXPECT_DOUBLE_EQ(g.sum(), 0.0);
+}
+
+TEST(Grid2, ClampedAccess) {
+  GridF g(3, 3, 0.0f);
+  g(0, 0) = 1.0f;
+  g(2, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(g.at_clamped(-5, -5), 1.0f);
+  EXPECT_FLOAT_EQ(g.at_clamped(10, 10), 9.0f);
+}
+
+TEST(Grid2, BilinearInterpolationExactAtNodes) {
+  GridF g(3, 3, 0.0f);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      g(i, j) = static_cast<float>(i + 10 * j);
+    }
+  }
+  EXPECT_FLOAT_EQ(g.interpolate(1.0, 2.0), 21.0f);
+  // Midpoint between (0,0)=0 and (1,0)=1.
+  EXPECT_FLOAT_EQ(g.interpolate(0.5, 0.0), 0.5f);
+  // Bilinear reproduces linear functions exactly.
+  EXPECT_FLOAT_EQ(g.interpolate(0.5, 0.5), 5.5f);
+}
+
+TEST(Grid2, InterpolationClampsOutside) {
+  GridF g(2, 2, 0.0f);
+  g(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(g.interpolate(100.0, 100.0), 4.0f);
+  EXPECT_FLOAT_EQ(g.interpolate(-100.0, -100.0), g(0, 0));
+}
+
+TEST(Grid2, MaxAbs) {
+  GridF g(3, 1, 0.0f);
+  g(0, 0) = -7.0f;
+  g(2, 0) = 3.0f;
+  EXPECT_DOUBLE_EQ(g.max_abs(), 7.0);
+}
+
+TEST(FlagGrid, SmokeBoxBoundary) {
+  FlagGrid flags(8, 8, CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_TRUE(flags.is_solid(0, j));
+    EXPECT_TRUE(flags.is_solid(7, j));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(flags.is_solid(i, 0));
+  }
+  for (int i = 1; i < 7; ++i) {
+    EXPECT_TRUE(flags.is_empty(i, 7));
+  }
+  EXPECT_TRUE(flags.is_fluid(3, 3));
+  EXPECT_EQ(flags.count_fluid(), 6 * 6);
+}
+
+TEST(FlagGrid, OutOfRangeIsSolid) {
+  const FlagGrid flags(4, 4, CellType::kFluid);
+  EXPECT_TRUE(flags.is_solid(-1, 0));
+  EXPECT_TRUE(flags.is_solid(0, 4));
+  EXPECT_FALSE(flags.is_fluid(-1, 0));
+  EXPECT_FALSE(flags.is_empty(4, 4));
+}
+
+TEST(FlagGrid, DistanceFieldFromWalls) {
+  FlagGrid flags(8, 8, CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  const auto dist = fluid::solid_distance_field(flags);
+  EXPECT_EQ(dist(0, 0), 0);          // Wall itself.
+  EXPECT_EQ(dist(1, 1), 1);          // Adjacent to two walls.
+  EXPECT_EQ(dist(3, 3), 3);          // Manhattan distance to nearest wall.
+  EXPECT_EQ(dist(3, 7), 3);          // Top row is empty, not solid.
+}
+
+TEST(FlagGrid, DistanceFieldNoSolids) {
+  const FlagGrid flags(4, 4, CellType::kFluid);
+  const auto dist = fluid::solid_distance_field(flags);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_GT(dist(i, j), 3);
+    }
+  }
+}
+
+TEST(MacGrid, Dimensions) {
+  MacGrid2 vel(4, 3);
+  EXPECT_EQ(vel.u().nx(), 5);
+  EXPECT_EQ(vel.u().ny(), 3);
+  EXPECT_EQ(vel.v().nx(), 4);
+  EXPECT_EQ(vel.v().ny(), 4);
+}
+
+TEST(MacGrid, SampleConstantField) {
+  MacGrid2 vel(8, 8);
+  vel.fill(2.0f, -1.0f);
+  for (double x : {0.7, 3.3, 7.9}) {
+    for (double y : {0.2, 4.4, 7.5}) {
+      const auto [u, v] = vel.sample(x, y);
+      EXPECT_FLOAT_EQ(u, 2.0f);
+      EXPECT_FLOAT_EQ(v, -1.0f);
+    }
+  }
+}
+
+TEST(MacGrid, SampleLinearFieldExact) {
+  // u(x) = x is linear: MAC bilinear sampling must reproduce it exactly
+  // at interior points.
+  MacGrid2 vel(8, 8);
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i <= 8; ++i) {
+      vel.u()(i, j) = static_cast<float>(i);
+    }
+  }
+  const auto [u, _] = vel.sample(3.25, 4.0);
+  EXPECT_NEAR(u, 3.25f, 1e-6f);
+}
+
+TEST(MacGrid, CenterAverages) {
+  MacGrid2 vel(2, 2);
+  vel.u()(0, 0) = 1.0f;
+  vel.u()(1, 0) = 3.0f;
+  vel.v()(0, 0) = -2.0f;
+  vel.v()(0, 1) = 4.0f;
+  const auto [u, v] = vel.at_center(0, 0);
+  EXPECT_FLOAT_EQ(u, 2.0f);
+  EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(MacGrid, EnforceSolidBoundaries) {
+  FlagGrid flags(4, 4, CellType::kFluid);
+  flags.set(1, 1, CellType::kSolid);
+  MacGrid2 vel(4, 4);
+  vel.fill(1.0f, 1.0f);
+  vel.enforce_solid_boundaries(flags);
+  // All four faces of the solid cell are zeroed.
+  EXPECT_FLOAT_EQ(vel.u()(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(vel.u()(2, 1), 0.0f);
+  EXPECT_FLOAT_EQ(vel.v()(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(vel.v()(1, 2), 0.0f);
+  // Domain-border faces are also pinned (outside counts as solid).
+  EXPECT_FLOAT_EQ(vel.u()(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(vel.u()(4, 2), 0.0f);
+  // An interior fluid-fluid face keeps its velocity.
+  EXPECT_FLOAT_EQ(vel.u()(3, 3), 1.0f);
+}
+
+TEST(MacGrid, MaxSpeed) {
+  MacGrid2 vel(3, 3);
+  vel.u()(1, 1) = -5.0f;
+  vel.v()(2, 2) = 3.0f;
+  EXPECT_DOUBLE_EQ(vel.max_speed(), 5.0);
+}
+
+}  // namespace
+}  // namespace sfn

@@ -1,0 +1,238 @@
+#include "core/persistence.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "core/smart_fluidnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+namespace sfn {
+namespace {
+
+/// One shared tiny offline run for all integration tests (it is the
+/// expensive part; the assertions below probe different facets of it).
+class SmartFluidnetIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::OfflineConfig config = core::OfflineConfig::tiny();
+    requirement_ = {0.05, 60.0};
+    artifacts_ = new core::OfflineArtifacts(
+        core::SmartFluidnet::prepare(config, requirement_));
+  }
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    artifacts_ = nullptr;
+  }
+
+  static core::OfflineArtifacts* artifacts_;
+  static core::UserRequirement requirement_;
+};
+
+core::OfflineArtifacts* SmartFluidnetIntegration::artifacts_ = nullptr;
+core::UserRequirement SmartFluidnetIntegration::requirement_;
+
+TEST_F(SmartFluidnetIntegration, LibraryHasExpectedFamilySize) {
+  // tiny(): 2 shallow + 4 narrow = 6; + 6 pooled = 12; + 2 dropout = 14;
+  // + 2 search = 16.
+  EXPECT_EQ(artifacts_->library.size(), 16u);
+  for (const auto& model : artifacts_->library.models) {
+    EXPECT_TRUE(modelgen::validate(model.spec).empty());
+    EXPECT_GT(model.net.param_count(), 0u);
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, EveryModelWasMeasured) {
+  for (const auto& model : artifacts_->library.models) {
+    EXPECT_EQ(model.records.records.size(), 2u);  // tiny(): 2 eval problems.
+    EXPECT_GT(model.mean_seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(model.mean_quality));
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, ParetoFrontIsNonDominated) {
+  ASSERT_FALSE(artifacts_->pareto_ids.empty());
+  for (std::size_t a : artifacts_->pareto_ids) {
+    for (std::size_t b = 0; b < artifacts_->library.size(); ++b) {
+      if (a == b) continue;
+      const auto& ma = artifacts_->library[a];
+      const auto& mb = artifacts_->library[b];
+      const bool dominated = mb.mean_seconds <= ma.mean_seconds &&
+                             mb.mean_quality <= ma.mean_quality &&
+                             (mb.mean_seconds < ma.mean_seconds ||
+                              mb.mean_quality < ma.mean_quality);
+      EXPECT_FALSE(dominated) << "front model " << a << " dominated by " << b;
+    }
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, SelectionIsBoundedAndFromPareto) {
+  ASSERT_FALSE(artifacts_->selected_ids.empty());
+  EXPECT_LE(artifacts_->selected_ids.size(), 5u);
+  const std::set<std::size_t> pareto(artifacts_->pareto_ids.begin(),
+                                     artifacts_->pareto_ids.end());
+  for (std::size_t id : artifacts_->selected_ids) {
+    EXPECT_TRUE(pareto.contains(id));
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, MlpTrainedAndPredictsProbabilities) {
+  ASSERT_NE(artifacts_->predictor, nullptr);
+  ASSERT_FALSE(artifacts_->mlp_curve.train_loss.empty());
+  for (const auto& model : artifacts_->library.models) {
+    const double p = artifacts_->predictor->predict(
+        model.spec, requirement_.quality_loss, requirement_.seconds);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, QualityDatabasePopulated) {
+  // tiny(): 4 db problems x (selected models) pairs.
+  EXPECT_GE(artifacts_->quality_db.size(),
+            4u * artifacts_->selected_ids.size());
+  EXPECT_GT(artifacts_->pcg_mean_seconds, 0.0);
+}
+
+TEST_F(SmartFluidnetIntegration, AdaptiveSimulationRunsToCompletion) {
+  workload::ProblemSetParams params;
+  params.grid = 16;
+  params.steps = 20;
+  const auto problems = workload::generate_problems(2, params, 77);
+
+  for (const auto& problem : problems) {
+    const auto result = core::SmartFluidnet::simulate(problem, *artifacts_);
+    EXPECT_GT(result.seconds, 0.0);
+    for (std::size_t k = 0; k < result.final_density.size(); ++k) {
+      ASSERT_TRUE(std::isfinite(result.final_density[k]));
+    }
+    if (!result.restarted_with_pcg) {
+      EXPECT_EQ(result.model_per_step.size(), 20u);
+    }
+    // Time attribution covers every model that ran.
+    std::set<std::size_t> used(result.model_per_step.begin(),
+                               result.model_per_step.end());
+    for (std::size_t id : used) {
+      EXPECT_GT(result.seconds_per_model.at(id), 0.0);
+    }
+  }
+}
+
+TEST_F(SmartFluidnetIntegration, FixedModeMatchesSingleModelRun) {
+  workload::ProblemSetParams params;
+  params.grid = 16;
+  params.steps = 8;
+  const auto problems = workload::generate_problems(1, params, 88);
+  const auto& model = artifacts_->library[artifacts_->selected_ids.front()];
+  const auto result = core::run_fixed(problems[0], model);
+  EXPECT_EQ(result.model_per_step.size(), 8u);
+  EXPECT_FALSE(result.restarted_with_pcg);
+  EXPECT_GT(result.final_density.sum(), 0.0);
+}
+
+TEST_F(SmartFluidnetIntegration, ArtifactsPersistenceRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sfn_artifacts_test";
+  core::save_artifacts(*artifacts_, dir);
+  const auto loaded = core::load_artifacts(dir);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(loaded.library.size(), artifacts_->library.size());
+  EXPECT_EQ(loaded.pareto_ids, artifacts_->pareto_ids);
+  EXPECT_EQ(loaded.selected_ids, artifacts_->selected_ids);
+  EXPECT_EQ(loaded.quality_db.size(), artifacts_->quality_db.size());
+  EXPECT_DOUBLE_EQ(loaded.pcg_mean_seconds, artifacts_->pcg_mean_seconds);
+  EXPECT_DOUBLE_EQ(loaded.requirement.quality_loss,
+                   requirement_.quality_loss);
+
+  // Networks round-trip bit-exactly: same prediction on the same input.
+  for (std::size_t m = 0; m < loaded.library.size(); ++m) {
+    EXPECT_TRUE(loaded.library[m].spec == artifacts_->library[m].spec);
+    EXPECT_DOUBLE_EQ(loaded.library[m].mean_quality,
+                     artifacts_->library[m].mean_quality);
+  }
+  // The reloaded MLP predicts identically.
+  ASSERT_NE(loaded.predictor, nullptr);
+  const auto& spec = loaded.library[0].spec;
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(loaded.predictor->predict(spec, 0.02, 5.0)),
+      static_cast<float>(artifacts_->predictor->predict(spec, 0.02, 5.0)));
+
+  // A reloaded artifact set can drive an adaptive simulation.
+  workload::ProblemSetParams params;
+  params.grid = 16;
+  params.steps = 12;
+  const auto problems = workload::generate_problems(1, params, 99);
+  const auto result = core::SmartFluidnet::simulate(problems[0], loaded);
+  EXPECT_GT(result.final_density.sum(), 0.0);
+}
+
+TEST_F(SmartFluidnetIntegration, ImpossibleRequirementRestartsWithPcg) {
+  // Rig the artifacts so every model's predicted quality is far above an
+  // impossible requirement: Algorithm 2 must escalate to the most
+  // accurate model and then restart with PCG, and the session must still
+  // produce a valid (exact) final frame.
+  core::OfflineArtifacts rigged;
+  rigged.library = artifacts_->library;
+  rigged.pareto_ids = artifacts_->pareto_ids;
+  rigged.selected_ids = artifacts_->selected_ids;
+  rigged.scores = artifacts_->scores;
+  for (const auto& [key, value] : artifacts_->quality_db.entries()) {
+    rigged.quality_db.add(key, value + 10.0);  // Doom every prediction.
+  }
+  rigged.pcg_mean_seconds = artifacts_->pcg_mean_seconds;
+  rigged.requirement = {1e-9, 60.0};  // Unreachable quality target.
+
+  workload::ProblemSetParams params;
+  params.grid = 16;
+  // Enough check intervals (warmup 5 + one per 5 steps) to escalate past
+  // every selected candidate (up to 5) and then restart.
+  params.steps = 48;
+  const auto problems = workload::generate_problems(1, params, 555);
+  const auto result = core::run_adaptive(problems[0], rigged);
+
+  EXPECT_TRUE(result.restarted_with_pcg);
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_EQ(result.events.back().decision, runtime::Decision::kRestartPcg);
+  // The PCG redo produced the exact final frame.
+  fluid::PcgSolver pcg;
+  const auto reference = workload::run_simulation(problems[0], &pcg);
+  EXPECT_LT(fluid::quality_loss(reference.final_density,
+                                result.final_density),
+            1e-6);
+}
+
+TEST(Persistence, SpecRoundTrip) {
+  modelgen::ArchSpec spec = modelgen::tompson_spec();
+  spec.stages[1].pool = 2;
+  spec.stages[1].unpool = 2;
+  spec.stages[3].dropout = 0.1;
+  spec.stages[2].residual = true;
+  spec.name = "roundtrip";
+  std::stringstream buffer;
+  core::save_spec(spec, buffer);
+  const auto loaded = core::load_spec(buffer);
+  EXPECT_TRUE(loaded == spec);
+  EXPECT_EQ(loaded.name, "roundtrip");
+}
+
+TEST(Persistence, LoadMissingDirThrows) {
+  EXPECT_THROW(core::load_artifacts("/nonexistent/sfn/path"),
+               std::runtime_error);
+}
+
+TEST(OfflineConfig, PresetsAreConsistent) {
+  const auto tiny = core::OfflineConfig::tiny();
+  const auto paper = core::OfflineConfig::paper_scale();
+  EXPECT_LT(tiny.eval_problems, paper.eval_problems);
+  EXPECT_EQ(paper.generation.shallow_models, 5);
+  EXPECT_EQ(paper.generation.narrow_variants_per_model, 10);
+  EXPECT_EQ(paper.generation.dropout_models, 18);
+  EXPECT_EQ(paper.db_problems, 128);
+}
+
+}  // namespace
+}  // namespace sfn

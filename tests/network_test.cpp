@@ -1,0 +1,213 @@
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace sfn {
+namespace {
+
+using nn::Network;
+using nn::Shape;
+using nn::Tensor;
+
+Network small_cnn(std::uint64_t seed = 1) {
+  Network net;
+  net.emplace<nn::Conv2D>(2, 4, 3);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2D>(2);
+  net.emplace<nn::Conv2D>(4, 4, 3);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Upsample2D>(2);
+  net.emplace<nn::Conv2D>(4, 1, 3);
+  util::Rng rng(seed);
+  net.init_weights(rng);
+  return net;
+}
+
+TEST(Network, OutputShapePropagates) {
+  const Network net = small_cnn();
+  EXPECT_EQ(net.output_shape(Shape{2, 16, 16}), (Shape{1, 16, 16}));
+}
+
+TEST(Network, ParamCount) {
+  Network net;
+  net.emplace<nn::Conv2D>(2, 4, 3);  // 2*4*9 + 4 = 76.
+  net.emplace<nn::Dense>(4, 2);      // 8 + 2 = 10.
+  EXPECT_EQ(net.param_count(), 86u);
+}
+
+TEST(Network, FlopsAreSumOfLayers) {
+  Network net;
+  net.emplace<nn::Conv2D>(1, 1, 3);
+  net.emplace<nn::ReLU>();
+  const Shape in{1, 8, 8};
+  EXPECT_EQ(net.flops(in), 2ull * 9 * 64 + 64);
+}
+
+TEST(Network, MemoryBytesTracksParamsAndActivations) {
+  Network net = small_cnn();
+  const auto bytes = net.memory_bytes(Shape{2, 16, 16});
+  EXPECT_GT(bytes, net.param_count() * sizeof(float));
+}
+
+TEST(Network, CloneIsDeepCopy) {
+  Network a = small_cnn(5);
+  Network b = a;  // Copy ctor deep-copies weights.
+  const Tensor x(Shape{2, 8, 8}, 0.3f);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  for (std::size_t k = 0; k < ya.numel(); ++k) {
+    ASSERT_FLOAT_EQ(ya[k], yb[k]);
+  }
+  // Mutating the copy must not affect the original.
+  for (auto& view : b.params()) {
+    std::fill(view.values.begin(), view.values.end(), 0.0f);
+  }
+  const Tensor ya2 = a.forward(x, false);
+  for (std::size_t k = 0; k < ya.numel(); ++k) {
+    ASSERT_FLOAT_EQ(ya[k], ya2[k]);
+  }
+}
+
+TEST(Network, SerializationRoundTrip) {
+  Network net = small_cnn(7);
+  std::stringstream buffer;
+  net.save(buffer);
+  Network loaded = Network::load(buffer);
+
+  EXPECT_EQ(loaded.depth(), net.depth());
+  EXPECT_EQ(loaded.param_count(), net.param_count());
+  const Tensor x(Shape{2, 8, 8}, 0.25f);
+  const Tensor y0 = net.forward(x, false);
+  const Tensor y1 = loaded.forward(x, false);
+  for (std::size_t k = 0; k < y0.numel(); ++k) {
+    ASSERT_FLOAT_EQ(y0[k], y1[k]);
+  }
+}
+
+TEST(Network, SerializationFileRoundTrip) {
+  Network net = small_cnn(9);
+  const auto path =
+      std::filesystem::temp_directory_path() / "sfn_net_test.bin";
+  net.save_file(path);
+  Network loaded = Network::load_file(path);
+  EXPECT_EQ(loaded.describe(), net.describe());
+  std::filesystem::remove(path);
+}
+
+TEST(Network, LoadRejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "not a network";
+  EXPECT_THROW(Network::load(buffer), std::runtime_error);
+}
+
+TEST(Network, EraseAndInsertLayer) {
+  Network net = small_cnn();
+  const auto depth = net.depth();
+  net.erase_layer(1);  // Remove the first ReLU.
+  EXPECT_EQ(net.depth(), depth - 1);
+  net.insert_layer(1, std::make_unique<nn::ReLU>());
+  EXPECT_EQ(net.depth(), depth);
+  EXPECT_THROW(net.erase_layer(100), std::out_of_range);
+  EXPECT_THROW(net.insert_layer(100, std::make_unique<nn::ReLU>()),
+               std::out_of_range);
+}
+
+TEST(Network, DescribeListsLayers) {
+  const Network net = small_cnn();
+  const std::string desc = net.describe();
+  EXPECT_NE(desc.find("Conv2D(2->4, k3)"), std::string::npos);
+  EXPECT_NE(desc.find("MaxPool2D"), std::string::npos);
+  EXPECT_NE(desc.find("Upsample2D"), std::string::npos);
+}
+
+TEST(Optimizer, SgdReducesQuadraticLoss) {
+  // Fit y = 2x with a single Dense(1,1).
+  Network net;
+  net.emplace<nn::Dense>(1, 1);
+  util::Rng rng(3);
+  net.init_weights(rng);
+  nn::Sgd sgd(0.05, 0.0);
+
+  double first_loss = -1.0;
+  double last_loss = -1.0;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    double epoch_loss = 0.0;
+    net.zero_grads();
+    for (float xv : {-1.0f, 0.5f, 1.0f, 2.0f}) {
+      Tensor x(Shape{1, 1, 1});
+      x[0] = xv;
+      Tensor target(Shape{1, 1, 1});
+      target[0] = 2.0f * xv;
+      const Tensor pred = net.forward(x, true);
+      const auto loss = nn::mse_loss(pred, target);
+      epoch_loss += loss.value;
+      net.backward(loss.grad);
+    }
+    sgd.step(net, 4.0);
+    if (epoch == 0) first_loss = epoch_loss;
+    last_loss = epoch_loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 1e-3);
+}
+
+TEST(Optimizer, AdamConvergesFasterThanPlainSgdHere) {
+  auto train = [](nn::Optimizer& opt) {
+    Network net;
+    net.emplace<nn::Dense>(2, 1);
+    util::Rng rng(4);
+    net.init_weights(rng);
+    double loss_value = 0.0;
+    for (int step = 0; step < 150; ++step) {
+      Tensor x(Shape{1, 1, 2});
+      x[0] = 1.0f;
+      x[1] = -0.5f;
+      Tensor target(Shape{1, 1, 1});
+      target[0] = 3.0f;
+      net.zero_grads();
+      const Tensor pred = net.forward(x, true);
+      const auto loss = nn::mse_loss(pred, target);
+      loss_value = loss.value;
+      net.backward(loss.grad);
+      opt.step(net, 1.0);
+    }
+    return loss_value;
+  };
+  nn::Adam adam(0.05);
+  nn::Sgd sgd(0.001, 0.0);  // Deliberately timid.
+  EXPECT_LT(train(adam), train(sgd));
+}
+
+TEST(Optimizer, ZeroGradsClearsAccumulation) {
+  Network net;
+  net.emplace<nn::Dense>(2, 1);
+  Tensor x(Shape{1, 1, 2}, 1.0f);
+  Tensor target(Shape{1, 1, 1}, 0.0f);
+  const Tensor pred = net.forward(x, true);
+  net.backward(nn::mse_loss(pred, target).grad);
+  bool any_nonzero = false;
+  for (auto& view : net.params()) {
+    for (float g : view.grads) {
+      if (g != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grads();
+  for (auto& view : net.params()) {
+    for (float g : view.grads) {
+      EXPECT_FLOAT_EQ(g, 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfn

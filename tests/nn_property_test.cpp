@@ -1,0 +1,158 @@
+// Property sweeps over the neural-network stack: every architecture the
+// generator can emit must build, run, serialize and train consistently.
+
+#include "core/neural_projection.hpp"
+#include "modelgen/generator.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace sfn {
+namespace {
+
+std::vector<modelgen::GeneratedSpec> small_family(std::uint64_t seed) {
+  modelgen::GenerationParams params;
+  params.shallow_models = 2;
+  params.narrow_variants_per_model = 2;
+  params.dropout_models = 2;
+  util::Rng rng(seed);
+  return modelgen::generate_family(modelgen::tompson_spec(), params, rng);
+}
+
+class FamilyProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FamilyProperties, EveryGeneratedModelRunsAtMultipleResolutions) {
+  for (const auto& member : small_family(GetParam())) {
+    util::Rng rng(1);
+    auto net = modelgen::build_network(member.spec, rng);
+    for (const int n : {16, 24, 32}) {
+      const nn::Tensor input(nn::Shape{2, n, n}, 0.1f);
+      const nn::Tensor out = net.forward(input, false);
+      ASSERT_EQ(out.shape(), (nn::Shape{1, n, n})) << member.spec.describe();
+      for (std::size_t k = 0; k < out.numel(); ++k) {
+        ASSERT_TRUE(std::isfinite(out[k])) << member.spec.describe();
+      }
+    }
+  }
+}
+
+TEST_P(FamilyProperties, SerializationPreservesEveryModel) {
+  for (const auto& member : small_family(GetParam())) {
+    util::Rng rng(2);
+    auto net = modelgen::build_network(member.spec, rng);
+    std::stringstream buffer;
+    net.save(buffer);
+    auto loaded = nn::Network::load(buffer);
+    const nn::Tensor input(nn::Shape{2, 16, 16}, 0.2f);
+    const auto a = net.forward(input, false);
+    const auto b = loaded.forward(input, false);
+    for (std::size_t k = 0; k < a.numel(); ++k) {
+      ASSERT_FLOAT_EQ(a[k], b[k]) << member.spec.describe();
+    }
+  }
+}
+
+TEST_P(FamilyProperties, FlopsOrderingMatchesArchitectureSize) {
+  // A narrowed model never costs more than its parent; a shallowed model
+  // never costs more than the base.
+  const auto base_spec = modelgen::tompson_spec();
+  util::Rng rng(3);
+  auto base = modelgen::build_network(base_spec, rng);
+  const nn::Shape in{2, 32, 32};
+  for (const auto& member : small_family(GetParam())) {
+    auto net = modelgen::build_network(member.spec, rng);
+    if (member.origin == "shallow" || member.origin == "narrow") {
+      ASSERT_LE(net.flops(in), base.flops(in)) << member.spec.describe();
+    }
+  }
+}
+
+TEST_P(FamilyProperties, TrainingStepChangesParameters) {
+  for (const auto& member : small_family(GetParam())) {
+    util::Rng rng(4);
+    auto net = modelgen::build_network(member.spec, rng);
+    const auto before = [&] {
+      double acc = 0.0;
+      for (auto& view : net.params()) {
+        for (float v : view.values) acc += std::abs(v);
+      }
+      return acc;
+    }();
+    const nn::Tensor input(nn::Shape{2, 16, 16}, 0.3f);
+    const nn::Tensor target(nn::Shape{1, 16, 16}, 0.1f);
+    nn::Adam opt(1e-2);
+    net.zero_grads();
+    const auto pred = net.forward(input, true);
+    net.backward(nn::mse_loss(pred, target).grad);
+    opt.step(net, 1.0);
+    double after = 0.0;
+    for (auto& view : net.params()) {
+      for (float v : view.values) after += std::abs(v);
+    }
+    ASSERT_NE(before, after) << member.spec.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FamilyProperties,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+TEST(NeuralProjectionProperty, ScaleEquivarianceBySolveLinearity) {
+  // p(alpha * b) == alpha * p(b): the normalised encoding makes the
+  // surrogate exactly scale-equivariant, mirroring the linearity of the
+  // underlying system.
+  fluid::FlagGrid flags(16, 16, fluid::CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  util::Rng rng(5);
+  fluid::GridF rhs(16, 16, 0.0f);
+  for (int j = 0; j < 16; ++j) {
+    for (int i = 0; i < 16; ++i) {
+      if (flags.is_fluid(i, j)) {
+        rhs(i, j) = static_cast<float>(rng.uniform(-0.1, 0.1));
+      }
+    }
+  }
+  auto net = modelgen::build_network(modelgen::tompson_spec(4), rng);
+  core::NeuralProjection proj(std::move(net));
+
+  fluid::GridF p1(16, 16, 0.0f);
+  proj.solve(flags, rhs, &p1);
+
+  fluid::GridF rhs4 = rhs;
+  for (std::size_t k = 0; k < rhs4.size(); ++k) {
+    rhs4[k] *= 4.0f;
+  }
+  fluid::GridF p4(16, 16, 0.0f);
+  proj.solve(flags, rhs4, &p4);
+
+  for (int j = 0; j < 16; ++j) {
+    for (int i = 0; i < 16; ++i) {
+      if (flags.is_fluid(i, j)) {
+        ASSERT_NEAR(p4(i, j), 4.0f * p1(i, j),
+                    1e-3f * std::max(1.0f, std::abs(4.0f * p1(i, j))));
+      }
+    }
+  }
+}
+
+TEST(NeuralProjectionProperty, NonFiniteInputsAreSanitised) {
+  fluid::FlagGrid flags(8, 8, fluid::CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  fluid::GridF rhs(8, 8, 0.0f);
+  rhs(3, 3) = std::numeric_limits<float>::quiet_NaN();
+  rhs(4, 4) = std::numeric_limits<float>::infinity();
+  util::Rng rng(6);
+  core::NeuralProjection proj(
+      modelgen::build_network(modelgen::tompson_spec(4), rng));
+  fluid::GridF p(8, 8, 0.0f);
+  proj.solve(flags, rhs, &p);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    ASSERT_TRUE(std::isfinite(p[k]));
+  }
+}
+
+}  // namespace
+}  // namespace sfn

@@ -1,0 +1,225 @@
+#include "quality/features.hpp"
+#include "quality/mlp.hpp"
+#include "quality/records.hpp"
+#include "quality/selector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfn {
+namespace {
+
+using quality::ExecutionRecord;
+using quality::MlpSample;
+using quality::MlpTopology;
+using quality::ModelRecords;
+
+TEST(Features, VectorHas48Components) {
+  EXPECT_EQ(quality::kFeatureDim, 48);
+  const auto f =
+      quality::encode_features(modelgen::tompson_spec(), 0.01, 5.0);
+  EXPECT_EQ(f.size(), 48u);
+}
+
+TEST(Features, LayoutMatchesEq6) {
+  quality::FeatureScale scale;
+  scale.max_quality = 1.0;
+  scale.max_time = 1.0;
+  scale.max_layers = 1.0;
+  scale.max_kernel = 1.0;
+  scale.max_channels = 1.0;
+  scale.max_pool = 1.0;
+  modelgen::ArchSpec spec;
+  spec.stages = {modelgen::StageSpec{.kernel = 3,
+                                     .channels = 8,
+                                     .pool = 2,
+                                     .unpool = 2,
+                                     .residual = true}};
+  const auto f = quality::encode_features(spec, 0.5, 2.0, scale);
+  EXPECT_FLOAT_EQ(f[0], 0.5f);              // q.
+  EXPECT_FLOAT_EQ(f[1], 2.0f);              // t.
+  EXPECT_FLOAT_EQ(f[2], 2.0f);              // layers (stage + projection).
+  EXPECT_FLOAT_EQ(f[3], 3.0f);              // kernel of stage 0.
+  EXPECT_FLOAT_EQ(f[3 + 9], 8.0f);          // channels.
+  EXPECT_FLOAT_EQ(f[3 + 18], 2.0f);         // pool.
+  EXPECT_FLOAT_EQ(f[3 + 27], 2.0f);         // unpool.
+  EXPECT_FLOAT_EQ(f[3 + 36], 1.0f);         // residual flag.
+  // Unused slots are zero-padded.
+  EXPECT_FLOAT_EQ(f[4], 0.0f);
+  EXPECT_FLOAT_EQ(f[47], 0.0f);
+}
+
+TEST(Features, DifferentSpecsDiffer) {
+  const auto a =
+      quality::encode_features(modelgen::tompson_spec(), 0.01, 5.0);
+  const auto b = quality::encode_features(modelgen::yang_spec(), 0.01, 5.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Records, SuccessRateCountsBothRequirements) {
+  ModelRecords records;
+  records.records = {
+      {0.01, 1.0},  // Meets q=0.02, t=2.
+      {0.03, 1.0},  // Fails quality.
+      {0.01, 3.0},  // Fails time.
+      {0.02, 2.0},  // Meets exactly (<=).
+  };
+  EXPECT_DOUBLE_EQ(records.success_rate(0.02, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(records.success_rate(1.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(records.success_rate(0.0, 0.0), 0.0);
+}
+
+TEST(Records, EmptyRecordsRateZero) {
+  const ModelRecords records;
+  EXPECT_DOUBLE_EQ(records.success_rate(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(records.mean_quality_loss(), 0.0);
+}
+
+TEST(Records, Means) {
+  ModelRecords records;
+  records.records = {{0.01, 1.0}, {0.03, 3.0}};
+  EXPECT_DOUBLE_EQ(records.mean_quality_loss(), 0.02);
+  EXPECT_DOUBLE_EQ(records.mean_seconds(), 2.0);
+}
+
+TEST(Records, SampleGenerationLabelsAreConsistent) {
+  ModelRecords model;
+  model.model_id = 0;
+  model.records = {{0.01, 1.0}, {0.02, 2.0}, {0.05, 0.5}};
+  util::Rng rng(1);
+  const auto samples = quality::generate_mlp_samples({model}, 50, rng);
+  ASSERT_EQ(samples.size(), 50u);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.label, model.success_rate(s.q, s.t));
+    EXPECT_GE(s.label, 0.0);
+    EXPECT_LE(s.label, 1.0);
+  }
+}
+
+TEST(Mlp, TopologiesMatchPaper) {
+  using quality::mlp_layer_widths;
+  EXPECT_EQ(mlp_layer_widths(MlpTopology::kMlp1),
+            (std::vector<int>{48, 32, 16, 1}));
+  EXPECT_EQ(mlp_layer_widths(MlpTopology::kMlp2),
+            (std::vector<int>{48, 32, 16, 8, 1}));
+  EXPECT_EQ(mlp_layer_widths(MlpTopology::kMlp3),
+            (std::vector<int>{48, 32, 32, 16, 8, 1}));
+  EXPECT_EQ(mlp_layer_widths(MlpTopology::kMlp4),
+            (std::vector<int>{48, 64, 32, 32, 16, 8, 1}));
+  EXPECT_EQ(mlp_layer_widths(MlpTopology::kMlp5),
+            (std::vector<int>{48, 64, 64, 32, 32, 16, 8, 1}));
+}
+
+TEST(Mlp, OutputIsProbability) {
+  util::Rng rng(2);
+  auto net = quality::build_mlp(MlpTopology::kMlp3, rng);
+  nn::Tensor x(nn::Shape{1, 1, quality::kFeatureDim}, 0.3f);
+  const auto y = net.forward(x, false);
+  EXPECT_EQ(y.numel(), 1u);
+  EXPECT_GT(y[0], 0.0f);
+  EXPECT_LT(y[0], 1.0f);
+}
+
+TEST(Mlp, TrainingLearnsSeparableRule) {
+  // Two specs: a "good" one that always succeeds when q is loose and a
+  // "bad" one that never does. The MLP must rank them correctly.
+  std::vector<modelgen::ArchSpec> specs = {modelgen::tompson_spec(),
+                                           modelgen::yang_spec()};
+  std::vector<MlpSample> samples;
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    MlpSample s;
+    s.model_id = static_cast<std::size_t>(i % 2);
+    s.q = rng.uniform(0.0, 0.1);
+    s.t = rng.uniform(0.0, 10.0);
+    s.label = s.model_id == 0 ? 0.9 : 0.1;
+    samples.push_back(s);
+  }
+  quality::MlpTrainParams params;
+  params.epochs = 40;
+  const auto result = quality::train_mlp(MlpTopology::kMlp3, specs, samples,
+                                         params, rng);
+  EXPECT_GT(result.predictor.predict(specs[0], 0.05, 5.0), 0.7);
+  EXPECT_LT(result.predictor.predict(specs[1], 0.05, 5.0), 0.3);
+  // Loss decreased over training.
+  ASSERT_GE(result.curve.train_loss.size(), 2u);
+  EXPECT_LT(result.curve.train_loss.back(),
+            result.curve.train_loss.front());
+}
+
+TEST(Mlp, TrainRejectsBadInput) {
+  std::vector<modelgen::ArchSpec> specs = {modelgen::tompson_spec()};
+  util::Rng rng(4);
+  EXPECT_THROW(quality::train_mlp(MlpTopology::kMlp1, specs, {}, {}, rng),
+               std::invalid_argument);
+  MlpSample bad;
+  bad.model_id = 5;  // No such spec.
+  EXPECT_THROW(
+      quality::train_mlp(MlpTopology::kMlp1, specs, {bad}, {}, rng),
+      std::invalid_argument);
+}
+
+TEST(Selector, Eq8Semantics) {
+  // T_total = r * T_model + (1 - r) * T_pcg.
+  EXPECT_DOUBLE_EQ(quality::expected_total_seconds(1.0, 2.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(quality::expected_total_seconds(0.0, 2.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(quality::expected_total_seconds(0.5, 2.0, 100.0), 51.0);
+}
+
+TEST(Selector, SelectsOnlyExpectedWinners) {
+  // Model 0 usually succeeds (label 0.95); model 1 usually fails (0.3),
+  // so Eq. 8 charges it most of the PCG restart cost.
+  std::vector<modelgen::ArchSpec> specs = {modelgen::tompson_spec(),
+                                           modelgen::yang_spec()};
+  std::vector<MlpSample> samples;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    MlpSample s;
+    s.model_id = static_cast<std::size_t>(i % 2);
+    s.q = rng.uniform(0.0, 0.1);
+    s.t = rng.uniform(0.0, 10.0);
+    s.label = s.model_id == 0 ? 0.95 : 0.3;
+    samples.push_back(s);
+  }
+  quality::MlpTrainParams params;
+  params.epochs = 60;
+  auto result =
+      quality::train_mlp(MlpTopology::kMlp1, specs, samples, params, rng);
+
+  // T0 ~ 0.9*1 + 0.1*50 ~ 6 < 15 (selected); T1 ~ 0.35*9 + 0.65*50 ~ 36
+  // > 15 (rejected) — robust to moderate MLP fit error.
+  const auto scores = quality::select_models(
+      result.predictor, specs, {1.0, 9.0}, /*pcg_seconds=*/50.0,
+      /*q=*/0.05, /*t=*/15.0);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_TRUE(scores[0].selected);
+  EXPECT_FALSE(scores[1].selected);
+}
+
+TEST(Selector, CapsSelectionCount) {
+  std::vector<modelgen::ArchSpec> specs(8, modelgen::tompson_spec());
+  std::vector<MlpSample> samples;
+  util::Rng rng(6);
+  for (int i = 0; i < 160; ++i) {
+    MlpSample s;
+    s.model_id = static_cast<std::size_t>(i % 8);
+    s.q = rng.uniform(0.0, 0.1);
+    s.t = rng.uniform(0.0, 10.0);
+    s.label = 1.0;
+    samples.push_back(s);
+  }
+  quality::MlpTrainParams params;
+  params.epochs = 20;
+  auto result =
+      quality::train_mlp(MlpTopology::kMlp1, specs, samples, params, rng);
+  const auto scores = quality::select_models(
+      result.predictor, specs, std::vector<double>(8, 0.1),
+      /*pcg_seconds=*/1.0, 0.05, 100.0, /*max_selected=*/5);
+  int selected = 0;
+  for (const auto& s : scores) {
+    if (s.selected) ++selected;
+  }
+  EXPECT_EQ(selected, 5);
+}
+
+}  // namespace
+}  // namespace sfn

@@ -1,0 +1,212 @@
+#include "runtime/controller.hpp"
+#include "runtime/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfn {
+namespace {
+
+using runtime::CumDivNormExtrapolator;
+using runtime::Decision;
+using runtime::ModelSwitchController;
+using runtime::PredictorParams;
+using runtime::QualityDatabase;
+using runtime::RuntimeCandidate;
+
+TEST(Extrapolator, WarmupAndIntervalSkipping) {
+  CumDivNormExtrapolator ex;
+  // Steps 0-4 are warmup; 5,6 are the skipped head of interval one.
+  for (int step = 0; step <= 6; ++step) {
+    ex.observe(step, step * 1.0);
+  }
+  EXPECT_FALSE(ex.predict_final(100).has_value());  // Only 0 usable points
+                                                    // until step 7.
+  ex.observe(7, 7.0);
+  ex.observe(8, 8.0);
+  EXPECT_TRUE(ex.predict_final(100).has_value());
+}
+
+TEST(Extrapolator, PredictsLinearGrowthExactly) {
+  CumDivNormExtrapolator ex;
+  for (int step = 0; step < 10; ++step) {
+    ex.observe(step, 3.0 * step + 2.0);
+  }
+  const auto pred = ex.predict_final(127);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(*pred, 3.0 * 127 + 2.0, 1e-9);
+}
+
+TEST(Extrapolator, CheckPointsEveryInterval) {
+  const CumDivNormExtrapolator ex;
+  // warmup 5, interval 5: checks at steps 9, 14, 19, ...
+  EXPECT_FALSE(ex.at_check_point(4));
+  EXPECT_FALSE(ex.at_check_point(8));
+  EXPECT_TRUE(ex.at_check_point(9));
+  EXPECT_FALSE(ex.at_check_point(10));
+  EXPECT_TRUE(ex.at_check_point(14));
+}
+
+TEST(Extrapolator, CustomInterval) {
+  PredictorParams params;
+  params.check_interval = 10;
+  const CumDivNormExtrapolator ex(params);
+  EXPECT_TRUE(ex.at_check_point(14));
+  EXPECT_TRUE(ex.at_check_point(24));
+  EXPECT_FALSE(ex.at_check_point(19));
+}
+
+TEST(Extrapolator, ResetClearsWindow) {
+  CumDivNormExtrapolator ex;
+  for (int step = 0; step < 10; ++step) {
+    ex.observe(step, 2.0 * step);
+  }
+  ASSERT_TRUE(ex.predict_final(50).has_value());
+  ex.reset_window();
+  EXPECT_FALSE(ex.predict_final(50).has_value());
+}
+
+TEST(QualityDb, KnnPrediction) {
+  QualityDatabase db;
+  db.add(101, 0.09);
+  db.add(112, 0.11);
+  db.add(105, 0.10);
+  db.add(109, 0.11);
+  EXPECT_NEAR(db.predict_quality_loss(108, 4), 0.1025, 1e-12);
+  EXPECT_EQ(db.size(), 4u);
+}
+
+QualityDatabase make_db(double lo_q = 0.005, double hi_q = 0.05) {
+  // Linear map: CumDivNorm 0..100 -> Qloss lo..hi.
+  QualityDatabase db;
+  for (int i = 0; i <= 100; i += 5) {
+    db.add(i, lo_q + (hi_q - lo_q) * i / 100.0);
+  }
+  return db;
+}
+
+std::vector<RuntimeCandidate> three_candidates() {
+  // Ordered fastest/least-accurate -> slowest/most-accurate.
+  return {
+      {.model_id = 10, .probability = 0.7, .mean_seconds = 1.0,
+       .mean_quality = 0.05},
+      {.model_id = 11, .probability = 0.9, .mean_seconds = 2.0,
+       .mean_quality = 0.02},
+      {.model_id = 12, .probability = 0.8, .mean_seconds = 4.0,
+       .mean_quality = 0.01},
+  };
+}
+
+TEST(Controller, StartsWithHighestProbability) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db, 0.02, 128);
+  EXPECT_EQ(controller.current_candidate(), 1u);
+  EXPECT_EQ(controller.current().model_id, 11u);
+}
+
+TEST(Controller, SwitchesToAccurateWhenQualityPredictedBad) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db,
+                                   /*q=*/0.01, /*total_steps=*/128);
+  // Feed steep CumDivNorm growth => extrapolated final is large => Q'
+  // well above q => must escalate accuracy.
+  std::optional<Decision> decision;
+  for (int step = 0; step < 10; ++step) {
+    decision = controller.on_step(step, 5.0 * step);
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, Decision::kSwitchAccurate);
+  EXPECT_EQ(controller.current_candidate(), 2u);
+}
+
+TEST(Controller, SwitchesToFasterWhenQualityHasHeadroom) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db,
+                                   /*q=*/0.05, /*total_steps=*/128);
+  // Flat CumDivNorm => predicted final tiny => Q' far below q.
+  std::optional<Decision> decision;
+  for (int step = 0; step < 10; ++step) {
+    decision = controller.on_step(step, 0.01 * step);
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, Decision::kSwitchFaster);
+  EXPECT_EQ(controller.current_candidate(), 0u);
+}
+
+TEST(Controller, KeepsWhenCloseToRequirement) {
+  const auto db = make_db();
+  runtime::ControllerParams params;
+  params.keep_band = 0.5;
+  ModelSwitchController controller(params, three_candidates(), &db,
+                                   /*q=*/0.05, /*total_steps=*/128);
+  // CumDivNorm trending to ~88 at step 127 => Q' ~ 0.045, inside the band
+  // [0.025, 0.05].
+  std::optional<Decision> decision;
+  for (int step = 0; step < 10; ++step) {
+    decision = controller.on_step(step, 0.7 * step);
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, Decision::kKeep);
+  EXPECT_EQ(controller.current_candidate(), 1u);
+}
+
+TEST(Controller, RestartsWhenMostAccurateStillFails) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db,
+                                   /*q=*/0.001, /*total_steps=*/128);
+  bool restarted = false;
+  for (int step = 0; step < 40 && !restarted; ++step) {
+    const auto d = controller.on_step(step, 10.0 * step);
+    if (d == Decision::kRestartPcg) {
+      restarted = true;
+    }
+  }
+  EXPECT_TRUE(restarted);
+  EXPECT_TRUE(controller.restart_requested());
+  // After restart the controller goes inert.
+  EXPECT_FALSE(controller.on_step(50, 500.0).has_value());
+}
+
+TEST(Controller, EventsRecordTransitions) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db, 0.01, 128);
+  for (int step = 0; step < 20; ++step) {
+    controller.on_step(step, 5.0 * step);
+  }
+  ASSERT_FALSE(controller.events().empty());
+  const auto& first = controller.events().front();
+  EXPECT_EQ(first.from_candidate, 1u);
+  EXPECT_EQ(first.to_candidate, 2u);
+  EXPECT_GT(first.predicted_quality, 0.01);
+}
+
+TEST(Controller, FastestModelKeepsWhenAlreadyFastest) {
+  const auto db = make_db();
+  auto candidates = three_candidates();
+  candidates[0].probability = 1.0;  // Start on the fastest.
+  ModelSwitchController controller({}, candidates, &db, /*q=*/0.05, 128);
+  ASSERT_EQ(controller.current_candidate(), 0u);
+  std::optional<Decision> decision;
+  for (int step = 0; step < 10; ++step) {
+    decision = controller.on_step(step, 0.001 * step);
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, Decision::kKeep);  // Nothing faster exists.
+}
+
+TEST(Controller, RejectsEmptyInputs) {
+  const auto db = make_db();
+  EXPECT_THROW(ModelSwitchController({}, {}, &db, 0.01, 128),
+               std::invalid_argument);
+  const QualityDatabase empty_db;
+  EXPECT_THROW(
+      ModelSwitchController({}, three_candidates(), &empty_db, 0.01, 128),
+      std::invalid_argument);
+}
+
+TEST(Controller, DecisionToString) {
+  EXPECT_EQ(runtime::to_string(Decision::kKeep), "keep");
+  EXPECT_EQ(runtime::to_string(Decision::kRestartPcg), "restart-pcg");
+}
+
+}  // namespace
+}  // namespace sfn

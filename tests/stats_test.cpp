@@ -1,0 +1,227 @@
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/knn.hpp"
+#include "stats/linreg.hpp"
+#include "stats/pareto.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sfn {
+namespace {
+
+TEST(Descriptive, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 5.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(stats::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(empty), 0.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 25.0), 1.75);
+}
+
+TEST(Descriptive, PercentileUnsortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50.0), 2.5);
+}
+
+TEST(Descriptive, BoxplotSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(static_cast<double>(i));
+  }
+  const auto box = stats::boxplot(xs);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_NEAR(box.median, 50.5, 1e-12);
+  EXPECT_NEAR(box.q1, 25.75, 1e-12);
+  EXPECT_NEAR(box.q3, 75.25, 1e-12);
+  EXPECT_EQ(box.outliers, 0u);
+}
+
+TEST(Descriptive, BoxplotFlagsOutliers) {
+  std::vector<double> xs(50, 1.0);
+  xs.push_back(100.0);
+  const auto box = stats::boxplot(xs);
+  EXPECT_EQ(box.outliers, 1u);
+}
+
+TEST(Descriptive, HistogramCountsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.05, 0.15, 0.15, 0.95, 2.0};
+  const auto h = stats::histogram(xs, 0.0, 1.0, 10);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_EQ(h.counts[0], 2u);  // -1.0 clamped in + 0.05.
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[9], 2u);  // 0.95 + 2.0 clamped in.
+  EXPECT_NEAR(h.fraction(1), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Correlation, PearsonPerfectlyLinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(stats::pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y);
+  for (auto& v : neg) v = -v;
+  EXPECT_NEAR(stats::pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonZeroVarianceIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::pearson(x, y), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x^3 is monotone: Spearman is exactly 1, Pearson is less.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i) * i * i);
+  }
+  EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(stats::pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(LinReg, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  const auto fit = stats::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 21.0, 1e-12);
+}
+
+TEST(LinReg, NoisyLineRecoversSlope) {
+  util::Rng rng(7);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(3.0 * x.back() - 2.0 + rng.normal(0.0, 0.05));
+  }
+  const auto fit = stats::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinReg, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{2.0};
+  const std::vector<double> flat{1.0, 1.0};
+  const std::vector<double> rise{1.0, 2.0};
+  EXPECT_THROW(stats::linear_fit(one, two), std::invalid_argument);
+  EXPECT_THROW(stats::linear_fit(flat, rise), std::invalid_argument);
+  EXPECT_THROW(stats::linear_fit(rise, one), std::invalid_argument);
+}
+
+TEST(Knn, PredictAveragesNearest) {
+  stats::Knn1D knn;
+  // Paper's own worked example (§6.1): neighbours of 108 are
+  // (101,0.09),(112,0.11),(105,0.10),(109,0.11) -> mean 0.1025.
+  knn.insert(101, 0.09);
+  knn.insert(112, 0.11);
+  knn.insert(105, 0.10);
+  knn.insert(109, 0.11);
+  knn.insert(300, 0.50);
+  EXPECT_NEAR(knn.predict(108.0, 4), 0.1025, 1e-12);
+}
+
+TEST(Knn, NearestOrdering) {
+  stats::Knn1D knn;
+  for (int i = 0; i < 10; ++i) {
+    knn.insert(i, i * 10.0);
+  }
+  const auto picks = knn.nearest(4.4, 3);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_DOUBLE_EQ(picks[0].first, 4.0);
+  EXPECT_DOUBLE_EQ(picks[1].first, 5.0);
+  EXPECT_DOUBLE_EQ(picks[2].first, 3.0);
+}
+
+TEST(Knn, KLargerThanDatabase) {
+  stats::Knn1D knn;
+  knn.insert(1.0, 10.0);
+  knn.insert(2.0, 20.0);
+  EXPECT_NEAR(knn.predict(0.0, 10), 15.0, 1e-12);
+}
+
+TEST(Knn, EmptyThrows) {
+  const stats::Knn1D knn;
+  EXPECT_THROW((void)knn.predict(1.0), std::logic_error);
+}
+
+TEST(Pareto, FrontSelectsNonDominated) {
+  std::vector<stats::ParetoPoint> pts = {
+      {1.0, 5.0, 0},  // front (cheapest)
+      {2.0, 3.0, 1},  // front
+      {3.0, 3.5, 2},  // dominated by 1
+      {4.0, 1.0, 3},  // front (most accurate)
+      {4.5, 1.5, 4},  // dominated by 3
+  };
+  const auto front = stats::pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, DominatesSemantics) {
+  const stats::ParetoPoint a{1.0, 1.0, 0};
+  const stats::ParetoPoint b{2.0, 1.0, 1};
+  const stats::ParetoPoint c{1.0, 1.0, 2};
+  EXPECT_TRUE(stats::dominates(a, b));
+  EXPECT_FALSE(stats::dominates(b, a));
+  EXPECT_FALSE(stats::dominates(a, c));  // Equal points do not dominate.
+}
+
+TEST(Pareto, DuplicateFrontPointsKept) {
+  std::vector<stats::ParetoPoint> pts = {{1.0, 1.0, 0}, {1.0, 1.0, 1}};
+  const auto front = stats::pareto_front(pts);
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(Pareto, EveryNonFrontPointIsDominated) {
+  util::Rng rng(42);
+  std::vector<stats::ParetoPoint> pts;
+  for (std::size_t i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform(), i});
+  }
+  const auto front = stats::pareto_front(pts);
+  std::vector<bool> on_front(pts.size(), false);
+  for (std::size_t idx : front) {
+    on_front[idx] = true;
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (i != j && stats::dominates(pts[j], pts[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_NE(on_front[i], dominated) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sfn

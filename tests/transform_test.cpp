@@ -1,0 +1,134 @@
+#include "modelgen/transform_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfn {
+namespace {
+
+using modelgen::ArchSpec;
+
+TEST(Transform, ShallowRemovesExactlyOneStage) {
+  const ArchSpec base = modelgen::tompson_spec();
+  const ArchSpec out = modelgen::shallow(base, 2);
+  EXPECT_EQ(out.stages.size(), base.stages.size() - 1);
+  EXPECT_TRUE(modelgen::validate(out).empty());
+}
+
+TEST(Transform, ShallowReducesCost) {
+  util::Rng rng(1);
+  const ArchSpec base = modelgen::tompson_spec();
+  auto before = modelgen::build_network(base, rng);
+  auto after = modelgen::build_network(modelgen::shallow(base, 1), rng);
+  const nn::Shape in{2, 32, 32};
+  EXPECT_LT(after.flops(in), before.flops(in));
+  EXPECT_LT(after.param_count(), before.param_count());
+}
+
+TEST(Transform, ShallowKeepsPooledPairBalanced) {
+  ArchSpec base = modelgen::tompson_spec();
+  base.stages[1].pool = 2;
+  base.stages[1].unpool = 2;
+  // Deleting the pooled stage removes both its pool and unpool.
+  const ArchSpec out = modelgen::shallow(base, 1);
+  EXPECT_TRUE(modelgen::validate(out).empty());
+  EXPECT_EQ(out.net_scale(), 1);
+}
+
+TEST(Transform, ShallowRefusesLastStage) {
+  ArchSpec one;
+  one.stages = {modelgen::StageSpec{}};
+  EXPECT_THROW(modelgen::shallow(one, 0), std::invalid_argument);
+  EXPECT_THROW(modelgen::shallow(modelgen::tompson_spec(), 9),
+               std::invalid_argument);
+}
+
+TEST(Transform, NarrowReducesChannels) {
+  const ArchSpec base = modelgen::tompson_spec(10);
+  const ArchSpec out = modelgen::narrow(base, 0, 3);
+  EXPECT_EQ(out.stages[0].channels, 7);
+  EXPECT_TRUE(modelgen::validate(out).empty());
+}
+
+TEST(Transform, NarrowFloorsAtOneChannel) {
+  const ArchSpec base = modelgen::tompson_spec(4);
+  const ArchSpec out = modelgen::narrow(base, 1, 100);
+  EXPECT_EQ(out.stages[1].channels, 1);
+}
+
+TEST(Transform, NarrowRejectsBadArgs) {
+  const ArchSpec base = modelgen::tompson_spec();
+  EXPECT_THROW(modelgen::narrow(base, 99, 1), std::invalid_argument);
+  EXPECT_THROW(modelgen::narrow(base, 0, -1), std::invalid_argument);
+}
+
+TEST(Transform, PoolingAddsBalancedPair) {
+  const ArchSpec base = modelgen::tompson_spec();
+  // Stage 0 of the base spec is unpooled; the operation installs a
+  // balanced pool/unpool pair there.
+  const ArchSpec out = modelgen::pooling(base, 0, 2);
+  EXPECT_EQ(out.stages[0].pool, 2);
+  EXPECT_EQ(out.stages[0].unpool, 2);
+  EXPECT_TRUE(modelgen::validate(out).empty());
+  EXPECT_EQ(out.net_scale(), 1);
+  // On an already-pooled stage the factors multiply.
+  const ArchSpec deeper = modelgen::pooling(base, 2, 2);
+  EXPECT_EQ(deeper.stages[2].pool, base.stages[2].pool * 2);
+  EXPECT_TRUE(modelgen::validate(deeper).empty());
+}
+
+TEST(Transform, PoolingReducesFlops) {
+  util::Rng rng(2);
+  const ArchSpec base = modelgen::tompson_spec();
+  auto before = modelgen::build_network(base, rng);
+  auto after = modelgen::build_network(modelgen::pooling(base, 2, 2), rng);
+  const nn::Shape in{2, 32, 32};
+  EXPECT_LT(after.flops(in), before.flops(in));
+}
+
+TEST(Transform, PoolingComposes) {
+  const ArchSpec base = modelgen::tompson_spec();
+  const ArchSpec twice =
+      modelgen::pooling(modelgen::pooling(base, 0, 2), 0, 2);
+  EXPECT_EQ(twice.stages[0].pool, 4);
+  EXPECT_TRUE(modelgen::validate(twice).empty());
+}
+
+TEST(Transform, PoolingRejectsBadWindow) {
+  EXPECT_THROW(modelgen::pooling(modelgen::tompson_spec(), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Transform, DropoutSetsRate) {
+  const ArchSpec out = modelgen::dropout(modelgen::tompson_spec(), 3, 0.1);
+  EXPECT_DOUBLE_EQ(out.stages[3].dropout, 0.1);
+  EXPECT_TRUE(modelgen::validate(out).empty());
+}
+
+TEST(Transform, DropoutDoesNotChangeInferenceCost) {
+  util::Rng rng(3);
+  const ArchSpec base = modelgen::tompson_spec();
+  auto before = modelgen::build_network(base, rng);
+  auto after = modelgen::build_network(modelgen::dropout(base, 1, 0.1), rng);
+  const nn::Shape in{2, 16, 16};
+  // Dropout is identity at inference: forward outputs of a zeroed net are
+  // unaffected and FLOP deltas are negligible (mask cost only).
+  EXPECT_EQ(before.output_shape(in), after.output_shape(in));
+}
+
+TEST(Transform, DropoutRejectsBadRate) {
+  EXPECT_THROW(modelgen::dropout(modelgen::tompson_spec(), 0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Transform, OperationsDoNotMutateInput) {
+  const ArchSpec base = modelgen::tompson_spec();
+  const ArchSpec copy = base;
+  (void)modelgen::shallow(base, 1);
+  (void)modelgen::narrow(base, 1, 2);
+  (void)modelgen::pooling(base, 1, 2);
+  (void)modelgen::dropout(base, 1, 0.1);
+  EXPECT_TRUE(base == copy);
+}
+
+}  // namespace
+}  // namespace sfn

@@ -1,0 +1,221 @@
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "fluid/relaxation.hpp"
+#include "workload/evaluate.hpp"
+#include "workload/obstacles.hpp"
+#include "workload/problems.hpp"
+#include "workload/turbulence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfn {
+namespace {
+
+using workload::InputProblem;
+using workload::Obstacle;
+
+TEST(Turbulence, ValueNoiseDeterministicAndBounded) {
+  const workload::ValueNoise noise(42);
+  for (double x = 0.0; x < 1.0; x += 0.13) {
+    for (double y = 0.0; y < 1.0; y += 0.17) {
+      const double v = noise.sample(x, y, 4.0);
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, workload::ValueNoise(42).sample(x, y, 4.0));
+    }
+  }
+}
+
+TEST(Turbulence, DifferentSeedsGiveDifferentFields) {
+  fluid::MacGrid2 a(16, 16);
+  fluid::MacGrid2 b(16, 16);
+  workload::fill_turbulent_velocity({}, 1, &a);
+  workload::fill_turbulent_velocity({}, 2, &b);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < a.u().size(); ++k) {
+    diff += std::abs(a.u()[k] - b.u()[k]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(Turbulence, FieldIsDiscretelyDivergenceFree) {
+  // The stream-function construction telescopes to exactly zero discrete
+  // divergence (up to float rounding).
+  const fluid::FlagGrid flags(32, 32, fluid::CellType::kFluid);
+  fluid::MacGrid2 vel(32, 32);
+  workload::fill_turbulent_velocity({}, 7, &vel);
+  EXPECT_LT(fluid::max_divergence(vel, flags), 1e-4);
+}
+
+TEST(Turbulence, AmplitudeControlsSpeed) {
+  workload::TurbulenceParams weak;
+  weak.amplitude = 0.1;
+  workload::TurbulenceParams strong;
+  strong.amplitude = 0.8;
+  fluid::MacGrid2 a(24, 24);
+  fluid::MacGrid2 b(24, 24);
+  workload::fill_turbulent_velocity(weak, 3, &a);
+  workload::fill_turbulent_velocity(strong, 3, &b);
+  EXPECT_GT(b.max_speed(), a.max_speed() * 3.0);
+}
+
+TEST(Turbulence, AmplitudeRoughlyResolutionIndependent) {
+  fluid::MacGrid2 lo(16, 16);
+  fluid::MacGrid2 hi(64, 64);
+  workload::fill_turbulent_velocity({}, 5, &lo);
+  workload::fill_turbulent_velocity({}, 5, &hi);
+  EXPECT_GT(lo.max_speed(), 0.0);
+  const double ratio = hi.max_speed() / lo.max_speed();
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Obstacles, CircleContainment) {
+  Obstacle ob;
+  ob.kind = Obstacle::Kind::kCircle;
+  ob.cx = 0.5;
+  ob.cy = 0.5;
+  ob.rx = ob.ry = 0.1;
+  EXPECT_TRUE(ob.contains(0.5, 0.5));
+  EXPECT_TRUE(ob.contains(0.59, 0.5));
+  EXPECT_FALSE(ob.contains(0.61, 0.5));
+}
+
+TEST(Obstacles, BoxRotation) {
+  Obstacle ob;
+  ob.kind = Obstacle::Kind::kBox;
+  ob.cx = 0.5;
+  ob.cy = 0.5;
+  ob.rx = 0.2;
+  ob.ry = 0.05;
+  EXPECT_TRUE(ob.contains(0.65, 0.5));
+  EXPECT_FALSE(ob.contains(0.5, 0.6));
+  // Rotate 90 degrees: extents swap.
+  ob.angle = 3.14159265358979 / 2.0;
+  EXPECT_FALSE(ob.contains(0.65, 0.5));
+  EXPECT_TRUE(ob.contains(0.5, 0.65));
+}
+
+TEST(Obstacles, CapsuleEndsAreRounded) {
+  Obstacle ob;
+  ob.kind = Obstacle::Kind::kCapsule;
+  ob.cx = 0.5;
+  ob.cy = 0.5;
+  ob.rx = 0.05;
+  ob.ry = 0.1;
+  EXPECT_TRUE(ob.contains(0.5, 0.64));   // Inside the cap.
+  EXPECT_FALSE(ob.contains(0.5, 0.66));  // Beyond the cap radius.
+  EXPECT_TRUE(ob.contains(0.54, 0.5));
+}
+
+TEST(Obstacles, RasterizeMarksSolidsOnly) {
+  fluid::FlagGrid flags(32, 32, fluid::CellType::kFluid);
+  flags.set_smoke_box_boundary();
+  Obstacle ob;
+  ob.cx = 0.5;
+  ob.cy = 0.5;
+  ob.rx = ob.ry = 0.15;
+  const int fluid_before = flags.count_fluid();
+  workload::rasterize_obstacles({ob}, &flags);
+  EXPECT_LT(flags.count_fluid(), fluid_before);
+  EXPECT_TRUE(flags.is_solid(16, 16));
+  // The empty top row is untouched.
+  EXPECT_TRUE(flags.is_empty(16, 31));
+}
+
+TEST(Obstacles, RandomObstaclesStayInBounds) {
+  util::Rng rng(11);
+  const auto obs = workload::random_obstacles(20, rng);
+  EXPECT_EQ(obs.size(), 20u);
+  for (const auto& ob : obs) {
+    EXPECT_GT(ob.cx, 0.1);
+    EXPECT_LT(ob.cx, 0.9);
+    EXPECT_GT(ob.cy, 0.3);
+    EXPECT_GT(ob.rx, 0.0);
+  }
+}
+
+TEST(Problems, GenerateIsDeterministicAndDiverse) {
+  workload::ProblemSetParams params;
+  const auto a = workload::generate_problems(8, params, 99);
+  const auto b = workload::generate_problems(8, params, 99);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+  // Diversity: not all seeds or source positions equal.
+  EXPECT_NE(a[0].seed, a[1].seed);
+  EXPECT_NE(a[0].sources[0].cx, a[1].sources[0].cx);
+}
+
+TEST(Problems, MakeSimRespectsProblem) {
+  workload::ProblemSetParams params;
+  params.grid = 32;
+  params.max_obstacles = 2;
+  const auto problems = workload::generate_problems(4, params, 7);
+  for (const auto& p : problems) {
+    auto sim = workload::make_sim(p);
+    EXPECT_EQ(sim.nx(), 32);
+    EXPECT_GT(sim.density().sum(), 0.0);  // Source stamped.
+    // Initial velocity is turbulent (nonzero) away from walls.
+    EXPECT_GT(sim.velocity().max_speed(), 0.0);
+  }
+}
+
+TEST(Evaluate, PcgRunIsSelfConsistent) {
+  workload::ProblemSetParams params;
+  params.grid = 24;
+  params.steps = 6;
+  const auto problems = workload::generate_problems(1, params, 3);
+  fluid::PcgSolver pcg;
+  const auto run = workload::run_simulation(problems[0], &pcg);
+  EXPECT_EQ(run.telemetry.size(), 6u);
+  EXPECT_GT(run.total_seconds, 0.0);
+  EXPECT_GE(run.total_seconds, run.solve_seconds);
+  EXPECT_GT(run.solve_flops, 0u);
+  EXPECT_GT(run.final_density.sum(), 0.0);
+}
+
+TEST(Evaluate, IdenticalSolverGivesZeroQualityLoss) {
+  workload::ProblemSetParams params;
+  params.grid = 24;
+  params.steps = 6;
+  const auto problems = workload::generate_problems(2, params, 5);
+  const auto refs = workload::reference_runs(problems);
+  const auto eval = workload::evaluate_batch(
+      problems, refs, [] { return std::make_unique<fluid::PcgSolver>(); });
+  for (double q : eval.quality_loss) {
+    EXPECT_LT(q, 1e-6);
+  }
+  EXPECT_LT(eval.mean_quality_loss, 1e-6);
+}
+
+TEST(Evaluate, SloppySolverHasQualityLoss) {
+  workload::ProblemSetParams params;
+  params.grid = 24;
+  params.steps = 12;
+  const auto problems = workload::generate_problems(2, params, 6);
+  const auto refs = workload::reference_runs(problems);
+  const auto eval = workload::evaluate_batch(problems, refs, [] {
+    fluid::RelaxationParams rp;
+    rp.max_iterations = 2;  // Deliberately under-converged.
+    rp.tolerance = 1e-12;
+    return std::make_unique<fluid::JacobiSolver>(rp);
+  });
+  EXPECT_GT(eval.mean_quality_loss, 1e-5);
+}
+
+TEST(Evaluate, MismatchedReferencesThrow) {
+  workload::ProblemSetParams params;
+  const auto problems = workload::generate_problems(2, params, 6);
+  const std::vector<workload::RunResult> refs;  // Wrong size.
+  EXPECT_THROW(workload::evaluate_batch(
+                   problems, refs,
+                   [] { return std::make_unique<fluid::PcgSolver>(); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfn

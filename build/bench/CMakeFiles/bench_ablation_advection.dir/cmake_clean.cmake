@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_advection.dir/bench_ablation_advection.cpp.o"
+  "CMakeFiles/bench_ablation_advection.dir/bench_ablation_advection.cpp.o.d"
+  "bench_ablation_advection"
+  "bench_ablation_advection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

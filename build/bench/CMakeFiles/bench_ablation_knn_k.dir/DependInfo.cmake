@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_knn_k.cpp" "bench/CMakeFiles/bench_ablation_knn_k.dir/bench_ablation_knn_k.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_knn_k.dir/bench_ablation_knn_k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sfn_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/sfn_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/modelgen/CMakeFiles/sfn_modelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sfn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sfn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/sfn_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preconditioner.dir/bench_ablation_preconditioner.cpp.o"
+  "CMakeFiles/bench_ablation_preconditioner.dir/bench_ablation_preconditioner.cpp.o.d"
+  "bench_ablation_preconditioner"
+  "bench_ablation_preconditioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_warmstart.dir/bench_ablation_warmstart.cpp.o"
+  "CMakeFiles/bench_ablation_warmstart.dir/bench_ablation_warmstart.cpp.o.d"
+  "bench_ablation_warmstart"
+  "bench_ablation_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_candidate_quality.dir/bench_fig11_candidate_quality.cpp.o"
+  "CMakeFiles/bench_fig11_candidate_quality.dir/bench_fig11_candidate_quality.cpp.o.d"
+  "bench_fig11_candidate_quality"
+  "bench_fig11_candidate_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_candidate_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

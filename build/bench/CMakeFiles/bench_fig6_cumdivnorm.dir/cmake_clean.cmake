@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cumdivnorm.dir/bench_fig6_cumdivnorm.cpp.o"
+  "CMakeFiles/bench_fig6_cumdivnorm.dir/bench_fig6_cumdivnorm.cpp.o.d"
+  "bench_fig6_cumdivnorm"
+  "bench_fig6_cumdivnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cumdivnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_speedup_gridsize.dir/bench_fig8_speedup_gridsize.cpp.o"
+  "CMakeFiles/bench_fig8_speedup_gridsize.dir/bench_fig8_speedup_gridsize.cpp.o.d"
+  "bench_fig8_speedup_gridsize"
+  "bench_fig8_speedup_gridsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_speedup_gridsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_quality_boxplot.dir/bench_fig9_quality_boxplot.cpp.o"
+  "CMakeFiles/bench_fig9_quality_boxplot.dir/bench_fig9_quality_boxplot.cpp.o.d"
+  "bench_fig9_quality_boxplot"
+  "bench_fig9_quality_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_quality_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

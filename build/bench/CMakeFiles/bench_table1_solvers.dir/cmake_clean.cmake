@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_solvers.dir/bench_table1_solvers.cpp.o"
+  "CMakeFiles/bench_table1_solvers.dir/bench_table1_solvers.cpp.o.d"
+  "bench_table1_solvers"
+  "bench_table1_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sfn_bench_common.dir/common.cpp.o.d"
+  "libsfn_bench_common.a"
+  "libsfn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfn_bench_common.a"
+)

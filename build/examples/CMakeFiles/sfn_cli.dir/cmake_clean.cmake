@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_cli.dir/sfn_cli.cpp.o"
+  "CMakeFiles/sfn_cli.dir/sfn_cli.cpp.o.d"
+  "sfn_cli"
+  "sfn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_plume.dir/smoke_plume.cpp.o"
+  "CMakeFiles/smoke_plume.dir/smoke_plume.cpp.o.d"
+  "smoke_plume"
+  "smoke_plume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_plume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_core.dir/neural_projection.cpp.o"
+  "CMakeFiles/sfn_core.dir/neural_projection.cpp.o.d"
+  "CMakeFiles/sfn_core.dir/offline.cpp.o"
+  "CMakeFiles/sfn_core.dir/offline.cpp.o.d"
+  "CMakeFiles/sfn_core.dir/persistence.cpp.o"
+  "CMakeFiles/sfn_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/sfn_core.dir/session.cpp.o"
+  "CMakeFiles/sfn_core.dir/session.cpp.o.d"
+  "CMakeFiles/sfn_core.dir/training.cpp.o"
+  "CMakeFiles/sfn_core.dir/training.cpp.o.d"
+  "libsfn_core.a"
+  "libsfn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluid/advection.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/advection.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/advection.cpp.o.d"
+  "/root/repo/src/fluid/flags.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/flags.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/flags.cpp.o.d"
+  "/root/repo/src/fluid/mac_grid.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/mac_grid.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/mac_grid.cpp.o.d"
+  "/root/repo/src/fluid/multigrid.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/multigrid.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/multigrid.cpp.o.d"
+  "/root/repo/src/fluid/operators.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/operators.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/operators.cpp.o.d"
+  "/root/repo/src/fluid/pcg.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/pcg.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/pcg.cpp.o.d"
+  "/root/repo/src/fluid/poisson.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/poisson.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/poisson.cpp.o.d"
+  "/root/repo/src/fluid/relaxation.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/relaxation.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/relaxation.cpp.o.d"
+  "/root/repo/src/fluid/smoke_sim.cpp" "src/fluid/CMakeFiles/sfn_fluid.dir/smoke_sim.cpp.o" "gcc" "src/fluid/CMakeFiles/sfn_fluid.dir/smoke_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

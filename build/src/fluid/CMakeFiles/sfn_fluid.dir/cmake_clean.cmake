@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_fluid.dir/advection.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/advection.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/flags.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/flags.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/mac_grid.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/mac_grid.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/multigrid.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/multigrid.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/operators.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/operators.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/pcg.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/pcg.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/poisson.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/poisson.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/relaxation.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/relaxation.cpp.o.d"
+  "CMakeFiles/sfn_fluid.dir/smoke_sim.cpp.o"
+  "CMakeFiles/sfn_fluid.dir/smoke_sim.cpp.o.d"
+  "libsfn_fluid.a"
+  "libsfn_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modelgen/arch_spec.cpp" "src/modelgen/CMakeFiles/sfn_modelgen.dir/arch_spec.cpp.o" "gcc" "src/modelgen/CMakeFiles/sfn_modelgen.dir/arch_spec.cpp.o.d"
+  "/root/repo/src/modelgen/generator.cpp" "src/modelgen/CMakeFiles/sfn_modelgen.dir/generator.cpp.o" "gcc" "src/modelgen/CMakeFiles/sfn_modelgen.dir/generator.cpp.o.d"
+  "/root/repo/src/modelgen/search.cpp" "src/modelgen/CMakeFiles/sfn_modelgen.dir/search.cpp.o" "gcc" "src/modelgen/CMakeFiles/sfn_modelgen.dir/search.cpp.o.d"
+  "/root/repo/src/modelgen/transform_ops.cpp" "src/modelgen/CMakeFiles/sfn_modelgen.dir/transform_ops.cpp.o" "gcc" "src/modelgen/CMakeFiles/sfn_modelgen.dir/transform_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sfn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

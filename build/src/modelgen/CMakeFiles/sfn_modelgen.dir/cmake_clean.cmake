@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_modelgen.dir/arch_spec.cpp.o"
+  "CMakeFiles/sfn_modelgen.dir/arch_spec.cpp.o.d"
+  "CMakeFiles/sfn_modelgen.dir/generator.cpp.o"
+  "CMakeFiles/sfn_modelgen.dir/generator.cpp.o.d"
+  "CMakeFiles/sfn_modelgen.dir/search.cpp.o"
+  "CMakeFiles/sfn_modelgen.dir/search.cpp.o.d"
+  "CMakeFiles/sfn_modelgen.dir/transform_ops.cpp.o"
+  "CMakeFiles/sfn_modelgen.dir/transform_ops.cpp.o.d"
+  "libsfn_modelgen.a"
+  "libsfn_modelgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_modelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_nn.dir/activations.cpp.o"
+  "CMakeFiles/sfn_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/sfn_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/dense.cpp.o"
+  "CMakeFiles/sfn_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/loss.cpp.o"
+  "CMakeFiles/sfn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/network.cpp.o"
+  "CMakeFiles/sfn_nn.dir/network.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/sfn_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sfn_nn.dir/pooling.cpp.o"
+  "CMakeFiles/sfn_nn.dir/pooling.cpp.o.d"
+  "libsfn_nn.a"
+  "libsfn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

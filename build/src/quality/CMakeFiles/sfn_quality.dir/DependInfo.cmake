@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/features.cpp" "src/quality/CMakeFiles/sfn_quality.dir/features.cpp.o" "gcc" "src/quality/CMakeFiles/sfn_quality.dir/features.cpp.o.d"
+  "/root/repo/src/quality/mlp.cpp" "src/quality/CMakeFiles/sfn_quality.dir/mlp.cpp.o" "gcc" "src/quality/CMakeFiles/sfn_quality.dir/mlp.cpp.o.d"
+  "/root/repo/src/quality/records.cpp" "src/quality/CMakeFiles/sfn_quality.dir/records.cpp.o" "gcc" "src/quality/CMakeFiles/sfn_quality.dir/records.cpp.o.d"
+  "/root/repo/src/quality/selector.cpp" "src/quality/CMakeFiles/sfn_quality.dir/selector.cpp.o" "gcc" "src/quality/CMakeFiles/sfn_quality.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modelgen/CMakeFiles/sfn_modelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sfn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

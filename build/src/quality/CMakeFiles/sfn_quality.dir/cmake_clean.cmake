@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_quality.dir/features.cpp.o"
+  "CMakeFiles/sfn_quality.dir/features.cpp.o.d"
+  "CMakeFiles/sfn_quality.dir/mlp.cpp.o"
+  "CMakeFiles/sfn_quality.dir/mlp.cpp.o.d"
+  "CMakeFiles/sfn_quality.dir/records.cpp.o"
+  "CMakeFiles/sfn_quality.dir/records.cpp.o.d"
+  "CMakeFiles/sfn_quality.dir/selector.cpp.o"
+  "CMakeFiles/sfn_quality.dir/selector.cpp.o.d"
+  "libsfn_quality.a"
+  "libsfn_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

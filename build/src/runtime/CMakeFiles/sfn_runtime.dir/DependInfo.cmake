@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/controller.cpp" "src/runtime/CMakeFiles/sfn_runtime.dir/controller.cpp.o" "gcc" "src/runtime/CMakeFiles/sfn_runtime.dir/controller.cpp.o.d"
+  "/root/repo/src/runtime/predictor.cpp" "src/runtime/CMakeFiles/sfn_runtime.dir/predictor.cpp.o" "gcc" "src/runtime/CMakeFiles/sfn_runtime.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sfn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_runtime.dir/controller.cpp.o"
+  "CMakeFiles/sfn_runtime.dir/controller.cpp.o.d"
+  "CMakeFiles/sfn_runtime.dir/predictor.cpp.o"
+  "CMakeFiles/sfn_runtime.dir/predictor.cpp.o.d"
+  "libsfn_runtime.a"
+  "libsfn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_stats.dir/correlation.cpp.o"
+  "CMakeFiles/sfn_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/sfn_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sfn_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sfn_stats.dir/knn.cpp.o"
+  "CMakeFiles/sfn_stats.dir/knn.cpp.o.d"
+  "CMakeFiles/sfn_stats.dir/linreg.cpp.o"
+  "CMakeFiles/sfn_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/sfn_stats.dir/pareto.cpp.o"
+  "CMakeFiles/sfn_stats.dir/pareto.cpp.o.d"
+  "libsfn_stats.a"
+  "libsfn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

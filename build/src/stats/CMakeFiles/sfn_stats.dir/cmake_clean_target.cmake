@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfn_stats.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_util.dir/config.cpp.o"
+  "CMakeFiles/sfn_util.dir/config.cpp.o.d"
+  "CMakeFiles/sfn_util.dir/table.cpp.o"
+  "CMakeFiles/sfn_util.dir/table.cpp.o.d"
+  "CMakeFiles/sfn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sfn_util.dir/thread_pool.cpp.o.d"
+  "libsfn_util.a"
+  "libsfn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/evaluate.cpp" "src/workload/CMakeFiles/sfn_workload.dir/evaluate.cpp.o" "gcc" "src/workload/CMakeFiles/sfn_workload.dir/evaluate.cpp.o.d"
+  "/root/repo/src/workload/obstacles.cpp" "src/workload/CMakeFiles/sfn_workload.dir/obstacles.cpp.o" "gcc" "src/workload/CMakeFiles/sfn_workload.dir/obstacles.cpp.o.d"
+  "/root/repo/src/workload/problems.cpp" "src/workload/CMakeFiles/sfn_workload.dir/problems.cpp.o" "gcc" "src/workload/CMakeFiles/sfn_workload.dir/problems.cpp.o.d"
+  "/root/repo/src/workload/turbulence.cpp" "src/workload/CMakeFiles/sfn_workload.dir/turbulence.cpp.o" "gcc" "src/workload/CMakeFiles/sfn_workload.dir/turbulence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fluid/CMakeFiles/sfn_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfn_workload.dir/evaluate.cpp.o"
+  "CMakeFiles/sfn_workload.dir/evaluate.cpp.o.d"
+  "CMakeFiles/sfn_workload.dir/obstacles.cpp.o"
+  "CMakeFiles/sfn_workload.dir/obstacles.cpp.o.d"
+  "CMakeFiles/sfn_workload.dir/problems.cpp.o"
+  "CMakeFiles/sfn_workload.dir/problems.cpp.o.d"
+  "CMakeFiles/sfn_workload.dir/turbulence.cpp.o"
+  "CMakeFiles/sfn_workload.dir/turbulence.cpp.o.d"
+  "libsfn_workload.a"
+  "libsfn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_test.dir/advection_test.cpp.o"
+  "CMakeFiles/advection_test.dir/advection_test.cpp.o.d"
+  "advection_test"
+  "advection_test.pdb"
+  "advection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/generator_test.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/generator_test.dir/generator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/sfn_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sfn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/modelgen/CMakeFiles/sfn_modelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sfn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/sfn_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_sim_test.dir/smoke_sim_test.cpp.o"
+  "CMakeFiles/smoke_sim_test.dir/smoke_sim_test.cpp.o.d"
+  "smoke_sim_test"
+  "smoke_sim_test.pdb"
+  "smoke_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_layer_test.dir/tensor_layer_test.cpp.o"
+  "CMakeFiles/tensor_layer_test.dir/tensor_layer_test.cpp.o.d"
+  "tensor_layer_test"
+  "tensor_layer_test.pdb"
+  "tensor_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

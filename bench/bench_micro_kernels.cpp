@@ -12,8 +12,18 @@
 #include "fluid/operators.hpp"
 #include "fluid/pcg.hpp"
 #include "modelgen/arch_spec.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "nn/workspace.hpp"
+#include "util/thread_pool.hpp"
 
 #include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace {
 
@@ -47,6 +57,127 @@ void BM_Conv2DForward(benchmark::State& state) {
       static_cast<double>(net.flops(input.shape())) / 1e6;
 }
 BENCHMARK(BM_Conv2DForward)->Arg(32)->Arg(64)->Arg(96);
+
+/// Pins OpenMP to one thread for the scope of a benchmark so the
+/// naive-vs-GEMM comparison measures kernel quality, not parallelism.
+class SingleThreadScope {
+ public:
+  SingleThreadScope() : old_(omp_get_max_threads()) { omp_set_num_threads(1); }
+  ~SingleThreadScope() { omp_set_num_threads(old_); }
+  SingleThreadScope(const SingleThreadScope&) = delete;
+  SingleThreadScope& operator=(const SingleThreadScope&) = delete;
+
+ private:
+  int old_;
+};
+
+nn::Tensor random_input(int c, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor t(nn::Shape{c, n, n});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// The acceptance shape for the inference fast path: 3x3, 16->16 channels
+/// on an n x n grid, single thread. GEMM and naive variants share this.
+void BM_ConvNaive(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  nn::Conv2D conv(16, 16, 3);
+  const nn::Tensor input = random_input(16, n, 11);
+  nn::Tensor out;
+  for (auto _ : state) {
+    conv.forward_naive_into(input, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flops = 2.0 * 16 * 16 * 9 * n * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvIm2colGemm(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  nn::Conv2D conv(16, 16, 3);
+  const nn::Tensor input = random_input(16, n, 11);
+  nn::Workspace ws;
+  nn::Tensor out;
+  conv.forward_gemm_into(input, out, ws);  // Warm the workspace.
+  for (auto _ : state) {
+    conv.forward_gemm_into(input, out, ws);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flops = 2.0 * 16 * 16 * 9 * n * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvIm2colGemm)->Arg(64)->Arg(128)->Arg(256);
+
+/// The GEMM micro-kernel alone at the conv-equivalent problem size:
+/// M = out_c, K = in_c * k * k, N = pixels.
+void BM_Sgemm(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int m = 16;
+  const int k = 144;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(21);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    nn::sgemm_acc(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * k * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Sgemm)->Arg(4096)->Arg(16384);
+
+void BM_Im2col(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  const int c = 16;
+  const int k = 3;
+  const nn::Tensor input = random_input(c, n, 31);
+  std::vector<float> col(static_cast<std::size_t>(c) * k * k * n * n);
+  for (auto _ : state) {
+    nn::im2col(input.data().data(), c, n, n, k, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(col.size()) * 4);
+}
+BENCHMARK(BM_Im2col)->Arg(64)->Arg(128);
+
+/// Batched multi-problem evaluation: the adaptive runtime scores many
+/// candidate problems per decision, so cross-problem parallelism is the
+/// lever (per-problem OpenMP is disabled inside pool workers).
+void BM_ForwardBatch(benchmark::State& state) {
+  const int n = 64;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  auto net = modelgen::build_network(modelgen::tompson_spec(), rng);
+  std::vector<nn::Tensor> inputs;
+  for (std::size_t i = 0; i < batch; ++i) {
+    inputs.push_back(random_input(2, n, 100 + i));
+  }
+  util::ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward_batch(inputs, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ForwardBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_PcgSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -123,4 +254,30 @@ BENCHMARK(BM_DivNorm)->Arg(64)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): mirror the console report into
+// machine-readable BENCH_kernels.json (unless the caller already asked for
+// a --benchmark_out file) so the naive-vs-GEMM comparison can be checked by
+// scripts and tracked across commits without re-parsing formatted tables.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,9 +8,17 @@ namespace sfn::core {
 
 nn::Tensor encode_solver_input(const fluid::FlagGrid& flags,
                                const fluid::GridF& rhs, double* inv_scale) {
+  nn::Tensor input;
+  encode_solver_input(flags, rhs, inv_scale, &input);
+  return input;
+}
+
+void encode_solver_input(const fluid::FlagGrid& flags, const fluid::GridF& rhs,
+                         double* inv_scale, nn::Tensor* out) {
   const int nx = flags.nx();
   const int ny = flags.ny();
-  nn::Tensor input(nn::Shape{2, ny, nx});
+  out->resize(nn::Shape{2, ny, nx});
+  nn::Tensor& input = *out;
 
   // RMS scale over fluid cells: robust to single-cell outliers (a max
   // scale lets one spike shrink the whole input out of the training
@@ -46,7 +54,6 @@ nn::Tensor encode_solver_input(const fluid::FlagGrid& flags,
       input.at(1, j, i) = geom;
     }
   }
-  return input;
 }
 
 NeuralProjection::NeuralProjection(nn::Network net, std::string name)
@@ -59,8 +66,8 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
   fluid::SolveStats stats;
 
   double inv_scale = 1.0;
-  const nn::Tensor input = encode_solver_input(flags, rhs, &inv_scale);
-  const nn::Tensor output = net_.forward(input, /*train=*/false);
+  encode_solver_input(flags, rhs, &inv_scale, &input_);
+  const nn::Tensor& output = net_.forward_inference(input_, ws_);
 
   const int nx = flags.nx();
   const int ny = flags.ny();
@@ -78,7 +85,7 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
   stats.iterations = 1;
   stats.converged = true;
   stats.residual = 0.0;  // Not measured: that is the surrogate's point.
-  stats.flops = net_.flops(input.shape());
+  stats.flops = net_.flops(input_.shape());
   stats.seconds = timer.seconds();
   return stats;
 }

@@ -2,6 +2,7 @@
 
 #include "fluid/poisson.hpp"
 #include "nn/network.hpp"
+#include "nn/workspace.hpp"
 
 #include <string>
 
@@ -30,6 +31,10 @@ class NeuralProjection final : public fluid::PoissonSolver {
  private:
   nn::Network net_;
   std::string name_;
+  // Reused across the thousands of solves a simulation makes, so the
+  // steady-state inference loop performs no heap allocation.
+  nn::Workspace ws_;
+  nn::Tensor input_;
 };
 
 /// Build the 2-channel network input from solver state; `inv_scale`
@@ -37,5 +42,10 @@ class NeuralProjection final : public fluid::PoissonSolver {
 /// NeuralProjection and the trainer so encodings can never diverge.
 nn::Tensor encode_solver_input(const fluid::FlagGrid& flags,
                                const fluid::GridF& rhs, double* inv_scale);
+
+/// Allocation-free variant: encodes into `out` (resized as needed, backing
+/// store reused). This is what the solver's steady-state loop uses.
+void encode_solver_input(const fluid::FlagGrid& flags, const fluid::GridF& rhs,
+                         double* inv_scale, nn::Tensor* out);
 
 }  // namespace sfn::core

@@ -66,6 +66,7 @@ double max_abs(const FlagGrid& flags, const GridD& a) {
   const int nx = a.nx();
   const int ny = a.ny();
   double m = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : m)
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       if (flags.is_fluid(i, j)) {
@@ -126,8 +127,22 @@ void PcgSolver::build_preconditioner(const FlagGrid& flags) {
   }
 }
 
+void PcgSolver::ensure_scratch(int nx, int ny) {
+  if (scratch_.p.nx() == nx && scratch_.p.ny() == ny) {
+    return;
+  }
+  scratch_.p = GridD(nx, ny, 0.0);
+  scratch_.r = GridD(nx, ny, 0.0);
+  scratch_.s = GridD(nx, ny, 0.0);
+  scratch_.as = GridD(nx, ny, 0.0);
+  scratch_.z = GridD(nx, ny, 0.0);
+  scratch_.ic_q = GridD(nx, ny, 0.0);
+  scratch_.rf = GridF(nx, ny, 0.0f);
+  scratch_.zf = GridF(nx, ny, 0.0f);
+}
+
 void PcgSolver::apply_preconditioner(const FlagGrid& flags, const GridF& r,
-                                     GridF* z) const {
+                                     GridF* z) {
   const int nx = flags.nx();
   const int ny = flags.ny();
   switch (params_.preconditioner) {
@@ -152,8 +167,10 @@ void PcgSolver::apply_preconditioner(const FlagGrid& flags, const GridF& r,
       break;
   }
 
-  // Forward solve L q = r (L has unit off-diagonals times precond).
-  GridD q(nx, ny, 0.0);
+  // Forward solve L q = r (L has unit off-diagonals times precond). The
+  // scratch grid carries stale values in non-fluid cells, but every read
+  // below is guarded by a fluid check on a cell written earlier this call.
+  GridD& q = scratch_.ic_q;
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       if (!flags.is_fluid(i, j)) {
@@ -203,12 +220,16 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
     stats.flops += cells * 12;
   }
 
-  GridD p(nx, ny, 0.0);
-  GridD r(nx, ny, 0.0);
-  GridD s(nx, ny, 0.0);
-  GridD as(nx, ny, 0.0);
-  GridF rf(nx, ny, 0.0f);
-  GridF zf(nx, ny, 0.0f);
+  // All iteration vectors live in the member scratch workspace: the first
+  // solve at a given resolution allocates them, every later solve reuses
+  // them. Each is fully (re)written before it is read below.
+  ensure_scratch(nx, ny);
+  GridD& p = scratch_.p;
+  GridD& r = scratch_.r;
+  GridD& s = scratch_.s;
+  GridD& as = scratch_.as;
+  GridF& rf = scratch_.rf;
+  GridF& zf = scratch_.zf;
 
   // r = b - A p0 with the caller's pressure as the initial guess.
   for (int j = 0; j < ny; ++j) {
@@ -241,7 +262,7 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
     }
   };
 
-  GridD z(nx, ny, 0.0);
+  GridD& z = scratch_.z;
   precondition(r, &z);
   s = z;
   double sigma = dot(flags, z, r);

@@ -41,14 +41,24 @@ class PcgSolver final : public PoissonSolver {
 
  private:
   void build_preconditioner(const FlagGrid& flags);
-  void apply_preconditioner(const FlagGrid& flags, const GridF& r,
-                            GridF* z) const;
+  void apply_preconditioner(const FlagGrid& flags, const GridF& r, GridF* z);
+  void ensure_scratch(int nx, int ny);
 
   PcgParams params_;
   // Cached MIC/IC factor diag^(-1/2); rebuilt when the flag grid changes.
   GridD precond_diag_;
   FlagGrid cached_flags_;
   bool precond_valid_ = false;
+
+  /// Per-solve vectors, hoisted out of solve() so the hundreds of solves a
+  /// simulation makes reuse one set of grids instead of reallocating seven
+  /// full grids per call. Every cell each solve reads is written earlier in
+  /// that same solve, so no per-call zeroing is needed (see solve()).
+  struct Scratch {
+    GridD p, r, s, as, z, ic_q;
+    GridF rf, zf;
+  };
+  Scratch scratch_;
 };
 
 }  // namespace sfn::fluid

@@ -25,6 +25,18 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
+void ReLU::forward_into(const Tensor& input, Tensor& output,
+                        Workspace& /*ws*/) const {
+  output.resize(input.shape());
+  const float* src = input.data().data();
+  float* dst = output.data().data();
+  const auto n = static_cast<std::ptrdiff_t>(input.numel());
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+  }
+}
+
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 void ReLU::save(std::ostream& /*out*/) const {}
 void ReLU::load(std::istream& /*in*/) {}
@@ -45,6 +57,17 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
     grad[i] *= s * (1.0f - s);
   }
   return grad;
+}
+
+void Sigmoid::forward_into(const Tensor& input, Tensor& output,
+                           Workspace& /*ws*/) const {
+  output.resize(input.shape());
+  const float* src = input.data().data();
+  float* dst = output.data().data();
+  const auto n = static_cast<std::ptrdiff_t>(input.numel());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
+  }
 }
 
 std::unique_ptr<Layer> Sigmoid::clone() const {
@@ -69,6 +92,17 @@ Tensor Tanh::backward(const Tensor& grad_output) {
     grad[i] *= 1.0f - t * t;
   }
   return grad;
+}
+
+void Tanh::forward_into(const Tensor& input, Tensor& output,
+                        Workspace& /*ws*/) const {
+  output.resize(input.shape());
+  const float* src = input.data().data();
+  float* dst = output.data().data();
+  const auto n = static_cast<std::ptrdiff_t>(input.numel());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    dst[i] = std::tanh(src[i]);
+  }
 }
 
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }

@@ -9,6 +9,8 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override {
     return input;
   }
@@ -30,6 +32,8 @@ class Sigmoid final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override {
     return input;
   }
@@ -51,6 +55,8 @@ class Tanh final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override {
     return input;
   }

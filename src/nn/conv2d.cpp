@@ -1,12 +1,37 @@
 #include "nn/conv2d.hpp"
 
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
 #include "nn/serialize.hpp"
+#include "util/config.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace sfn::nn {
+
+namespace {
+
+ConvAlgo parse_env_algo() {
+  const std::string v = util::env_str("SFN_CONV_ALGO", "auto");
+  if (v == "naive" || v == "0") return ConvAlgo::kNaive;
+  if (v == "gemm" || v == "im2col" || v == "1") return ConvAlgo::kIm2colGemm;
+  return ConvAlgo::kAuto;
+}
+
+std::atomic<ConvAlgo>& algo_override_state() {
+  static std::atomic<ConvAlgo> state{parse_env_algo()};
+  return state;
+}
+
+}  // namespace
+
+ConvAlgo conv_algo_override() { return algo_override_state().load(); }
+
+void set_conv_algo_override(ConvAlgo algo) { algo_override_state() = algo; }
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, bool residual)
     : in_c_(in_channels),
@@ -58,12 +83,27 @@ std::uint64_t Conv2D::flops(const Shape& input) const {
   return f;
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
-  const Shape in_shape = input.shape();
-  const Shape out_shape = output_shape(in_shape);
-  cached_input_ = input;
+ConvAlgo Conv2D::choose_algo(const Shape& input) const {
+  const ConvAlgo forced = conv_algo_override();
+  if (forced != ConvAlgo::kAuto) {
+    return forced;
+  }
+  // im2col + GEMM wins once the GEMM inner dimension (taps x channels) is
+  // wide enough to amortise the packing pass over a non-trivial image;
+  // below that the per-tap loop's lower setup cost wins (e.g. the first
+  // 2-channel 3x3 layer on a tiny validation grid, or 1x1 bottlenecks
+  // with very few channels).
+  const std::size_t gemm_k =
+      static_cast<std::size_t>(in_c_) * k_ * k_;
+  const std::size_t pixels =
+      static_cast<std::size_t>(input.h) * input.w;
+  return (gemm_k >= 16 && pixels >= 256) ? ConvAlgo::kIm2colGemm
+                                         : ConvAlgo::kNaive;
+}
 
-  Tensor out(out_shape);
+void Conv2D::forward_naive_into(const Tensor& input, Tensor& out) const {
+  const Shape in_shape = input.shape();
+  out.resize(output_shape(in_shape));
   const int h = in_shape.h;
   const int w = in_shape.w;
   const int pad = k_ / 2;
@@ -106,9 +146,85 @@ Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
   }
 
   if (residual_) {
-    for (std::size_t i = 0; i < out.numel(); ++i) {
-      out[i] += input[i];
+    const auto n = static_cast<std::ptrdiff_t>(out.numel());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] += input[static_cast<std::size_t>(i)];
     }
+  }
+}
+
+void Conv2D::forward_gemm_into(const Tensor& input, Tensor& out,
+                               Workspace& ws) const {
+  const Shape in_shape = input.shape();
+  out.resize(output_shape(in_shape));
+  const int h = in_shape.h;
+  const int w = in_shape.w;
+  const std::size_t n_pixels = static_cast<std::size_t>(h) * w;
+  const int gemm_k = in_c_ * k_ * k_;
+
+  const float* in_base = input.data().data();
+  float* out_base = out.data().data();
+
+  // C starts as the broadcast bias; the GEMM accumulates on top.
+  for (int oc = 0; oc < out_c_; ++oc) {
+    float* row = out_base + static_cast<std::size_t>(oc) * n_pixels;
+    std::fill(row, row + n_pixels, bias_[oc]);
+  }
+
+  if (k_ == 1) {
+    // 1x1 convolution is a pure channel-mixing GEMM; the input already is
+    // the column matrix, so skip the im2col pass entirely.
+    sgemm_acc(out_c_, n_pixels, in_c_, weights_.data(),
+              static_cast<std::size_t>(gemm_k), in_base, n_pixels, out_base,
+              n_pixels);
+  } else {
+    // Tile the column matrix so the packed chunk stays cache-resident and
+    // huge grids never materialise all (c*k*k) x (h*w) floats at once.
+    constexpr std::size_t kChunkBudgetFloats = 64 * 1024;  // 256 KiB
+    std::size_t chunk = kChunkBudgetFloats / static_cast<std::size_t>(gemm_k);
+    chunk = std::max<std::size_t>(kGemmStrip,
+                                  chunk - chunk % kGemmStrip);
+    chunk = std::min(chunk, n_pixels);
+    float* col = ws.col_buffer(static_cast<std::size_t>(gemm_k) * chunk);
+
+    for (std::size_t n0 = 0; n0 < n_pixels; n0 += chunk) {
+      const std::size_t n1 = std::min(n_pixels, n0 + chunk);
+      im2col_range(in_base, in_c_, h, w, k_, n0, n1, col);
+      sgemm_acc(out_c_, n1 - n0, gemm_k, weights_.data(),
+                static_cast<std::size_t>(gemm_k), col, n1 - n0, out_base + n0,
+                n_pixels);
+    }
+  }
+
+  if (residual_) {
+    const auto n = static_cast<std::ptrdiff_t>(out.numel());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] += input[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void Conv2D::forward_into(const Tensor& input, Tensor& output,
+                          Workspace& ws) const {
+  if (choose_algo(input.shape()) == ConvAlgo::kIm2colGemm) {
+    forward_gemm_into(input, output, ws);
+  } else {
+    forward_naive_into(input, output);
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out;
+  if (choose_algo(input.shape()) == ConvAlgo::kIm2colGemm) {
+    if (!own_ws_) {
+      own_ws_ = std::make_unique<Workspace>();
+    }
+    forward_gemm_into(input, out, *own_ws_);
+  } else {
+    forward_naive_into(input, out);
   }
   return out;
 }
@@ -199,8 +315,11 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   }
 
   if (residual_) {
-    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
-      grad_in[i] += grad_output[i];
+    const auto n = static_cast<std::ptrdiff_t>(grad_in.numel());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      grad_in[static_cast<std::size_t>(i)] +=
+          grad_output[static_cast<std::size_t>(i)];
     }
   }
   return grad_in;

@@ -2,9 +2,24 @@
 
 #include "nn/layer.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace sfn::nn {
+
+/// Which kernel implementation a Conv2D forward pass runs.
+enum class ConvAlgo {
+  kAuto,        ///< Per-shape heuristic (the default).
+  kNaive,       ///< Per-tap shift-and-accumulate.
+  kIm2colGemm,  ///< im2col packing + blocked SGEMM (nn/gemm.hpp).
+};
+
+/// Process-wide algorithm override. Defaults to the SFN_CONV_ALGO
+/// environment variable ("naive", "gemm"/"im2col", or "auto"); kAuto
+/// defers to each layer's shape heuristic. Benches flip this to compare
+/// both paths in one process.
+[[nodiscard]] ConvAlgo conv_algo_override();
+void set_conv_algo_override(ConvAlgo algo);
 
 /// 2-D convolution, stride 1, zero "same" padding, odd kernel size.
 ///
@@ -17,6 +32,8 @@ class Conv2D final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   std::vector<ParamView> params() override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t flops(const Shape& input) const override;
@@ -41,6 +58,17 @@ class Conv2D final : public Layer {
   }
   float& bias(int oc) { return bias_[oc]; }
 
+  /// Which algorithm `forward`/`forward_into` would pick for this input
+  /// shape after applying the process-wide override.
+  [[nodiscard]] ConvAlgo choose_algo(const Shape& input) const;
+
+  /// Explicit-algorithm entry points, exposed for parity tests and the
+  /// micro-kernel benchmarks. Both compute the full layer (bias + taps +
+  /// residual) without touching cached training state.
+  void forward_naive_into(const Tensor& input, Tensor& output) const;
+  void forward_gemm_into(const Tensor& input, Tensor& output,
+                         Workspace& ws) const;
+
  private:
   int in_c_;
   int out_c_;
@@ -51,6 +79,9 @@ class Conv2D final : public Layer {
   std::vector<float> bias_;
   std::vector<float> bias_grads_;
   Tensor cached_input_;
+  /// Scratch for the GEMM path when invoked through the workspace-less
+  /// training-era forward(); lazily created, excluded from clone().
+  mutable std::unique_ptr<Workspace> own_ws_;
 };
 
 }  // namespace sfn::nn

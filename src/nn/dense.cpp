@@ -61,6 +61,25 @@ Tensor Dense::forward(const Tensor& input, bool /*train*/) {
   return out;
 }
 
+void Dense::forward_into(const Tensor& input, Tensor& output,
+                         Workspace& /*ws*/) const {
+  if (static_cast<int>(input.numel()) != in_f_) {
+    throw std::invalid_argument("Dense::forward_into: input size mismatch");
+  }
+  output.resize(Shape{1, 1, out_f_});
+  const float* src = input.data().data();
+  for (int o = 0; o < out_f_; ++o) {
+    const float* row = &weights_[static_cast<std::size_t>(o) * in_f_];
+    // Plain sequential accumulation: bit-identical to forward(), so the
+    // MLP's predictions do not shift when call sites adopt the fast path.
+    float acc = bias_[o];
+    for (int i = 0; i < in_f_; ++i) {
+      acc += row[i] * src[i];
+    }
+    output[o] = acc;
+  }
+}
+
 Tensor Dense::backward(const Tensor& grad_output) {
   Tensor grad_in(cached_input_.shape());
   for (int o = 0; o < out_f_; ++o) {
@@ -127,6 +146,12 @@ Tensor Dropout::forward(const Tensor& input, bool train) {
     out[i] *= mask_[i];
   }
   return out;
+}
+
+void Dropout::forward_into(const Tensor& input, Tensor& output,
+                           Workspace& /*ws*/) const {
+  // Inference-time dropout is the identity.
+  output.copy_from(input);
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

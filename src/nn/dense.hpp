@@ -16,6 +16,8 @@ class Dense final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   std::vector<ParamView> params() override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t flops(const Shape& input) const override;
@@ -53,6 +55,8 @@ class Dropout final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override {
     return input;
   }

@@ -1,0 +1,65 @@
+#include "nn/gemm.hpp"
+
+namespace sfn::nn {
+
+namespace {
+
+/// Register-blocked micro-kernel: one row of A against a kGemmStrip-wide
+/// column strip of B. The strip accumulator array is small and indexed by
+/// constant-trip-count simd loops, so it is promoted to vector registers;
+/// the K loop then runs eight independent accumulation chains (SSE) which
+/// hides the FP add latency the naive shift-and-accumulate loop pays in
+/// memory traffic instead.
+void kernel_strip(int K, const float* __restrict a, const float* __restrict b,
+                  std::size_t ldb, float* __restrict c) {
+  float acc[kGemmStrip];
+#pragma omp simd
+  for (int j = 0; j < kGemmStrip; ++j) {
+    acc[j] = c[j];
+  }
+  for (int p = 0; p < K; ++p) {
+    const float av = a[p];
+    const float* __restrict brow = b + static_cast<std::size_t>(p) * ldb;
+#pragma omp simd
+    for (int j = 0; j < kGemmStrip; ++j) {
+      acc[j] += av * brow[j];
+    }
+  }
+#pragma omp simd
+  for (int j = 0; j < kGemmStrip; ++j) {
+    c[j] = acc[j];
+  }
+}
+
+}  // namespace
+
+void sgemm_acc(int M, std::size_t N, int K, const float* A, std::size_t lda,
+               const float* B, std::size_t ldb, float* C, std::size_t ldc) {
+  const auto nstrips = static_cast<std::ptrdiff_t>(N / kGemmStrip);
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t s = 0; s < nstrips; ++s) {
+    const std::size_t j0 = static_cast<std::size_t>(s) * kGemmStrip;
+    // All M rows sweep the same K x kGemmStrip panel of B while it is hot.
+    for (int i = 0; i < M; ++i) {
+      kernel_strip(K, A + static_cast<std::size_t>(i) * lda, B + j0,
+                   ldb, C + static_cast<std::size_t>(i) * ldc + j0);
+    }
+  }
+
+  // Scalar tail for the last N % kGemmStrip columns.
+  const std::size_t tail0 = static_cast<std::size_t>(nstrips) * kGemmStrip;
+  for (int i = 0; i < M; ++i) {
+    const float* arow = A + static_cast<std::size_t>(i) * lda;
+    float* crow = C + static_cast<std::size_t>(i) * ldc;
+    for (std::size_t j = tail0; j < N; ++j) {
+      float acc = crow[j];
+      for (int p = 0; p < K; ++p) {
+        acc += arow[p] * B[static_cast<std::size_t>(p) * ldb + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace sfn::nn

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+namespace sfn::nn {
+
+/// C += A · B with row-major operands and explicit leading dimensions:
+/// A is M x K (row stride `lda`), B is K x N (row stride `ldb`), C is
+/// M x N (row stride `ldc`). Accumulate-into semantics — callers pre-fill
+/// C (the conv path fills each row with its bias).
+///
+/// Single-precision, cache-/register-blocked: columns are processed in
+/// strips sized so the strip's K x strip panel of B stays L1-resident
+/// while every row of A sweeps it, and the strip accumulators live in
+/// vector registers across the whole K loop. Strips are independent, so
+/// they are parallelised over the caller's OpenMP team.
+void sgemm_acc(int M, std::size_t N, int K, const float* A, std::size_t lda,
+               const float* B, std::size_t ldb, float* C, std::size_t ldc);
+
+/// Column-strip width used by the blocked kernel (exposed so benchmarks
+/// and the conv chunking heuristic can align work to it).
+inline constexpr int kGemmStrip = 32;
+
+}  // namespace sfn::nn

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 #include <cstdint>
@@ -29,6 +30,21 @@ class Layer {
 
   virtual Tensor forward(const Tensor& input, bool train) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Inference fast path: compute forward(input, /*train=*/false) into
+  /// `output`, drawing scratch memory from `ws` instead of the heap.
+  ///
+  /// Contract: `output` is distinct from `input` (Network ping-pongs the
+  /// workspace tensors); implementations must not mutate layer state, so
+  /// concurrent calls on a shared network are safe as long as each thread
+  /// brings its own Workspace. The base fallback clones the layer and runs
+  /// the regular forward — correct for any future layer, but allocating;
+  /// all in-tree layers override it.
+  virtual void forward_into(const Tensor& input, Tensor& output,
+                            Workspace& ws) const {
+    (void)ws;
+    output = clone()->forward(input, /*train=*/false);
+  }
 
   /// Parameter blobs (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }

@@ -5,8 +5,13 @@
 #include "nn/dense.hpp"
 #include "nn/pooling.hpp"
 #include "nn/serialize.hpp"
+#include "util/thread_pool.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <stdexcept>
 
@@ -95,6 +100,59 @@ Tensor Network::forward(const Tensor& input, bool train) {
     x = layer->forward(x, train);
   }
   return x;
+}
+
+const Tensor& Network::forward_inference(const Tensor& input,
+                                         Workspace& ws) const {
+  if (layers_.empty()) {
+    ws.x0.copy_from(input);
+    return ws.x0;
+  }
+  // Ping-pong between the two workspace tensors so no layer ever reads and
+  // writes the same buffer; `cur` starts at the caller's input and always
+  // points at the most recent activation.
+  const Tensor* cur = &input;
+  Tensor* bufs[2] = {&ws.x0, &ws.x1};
+  int next = 0;
+  for (const auto& layer : layers_) {
+    Tensor* out = bufs[next];
+    layer->forward_into(*cur, *out, ws);
+    cur = out;
+    next = 1 - next;
+  }
+  return *cur;
+}
+
+std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
+                                           util::ThreadPool& pool) const {
+  std::vector<Tensor> outputs(inputs.size());
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(pool.size(), 1), inputs.size());
+  if (workers <= 1) {
+    Workspace ws;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      outputs[i] = forward_inference(inputs[i], ws);
+    }
+    return outputs;
+  }
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    pending.push_back(pool.submit([this, &inputs, &outputs, t, workers] {
+      // Cross-problem parallelism only: pin this worker's intra-op OpenMP
+      // team to one thread so P workers do not each spawn a full team.
+      omp_set_num_threads(1);
+      Workspace ws;
+      for (std::size_t i = t; i < inputs.size(); i += workers) {
+        outputs[i] = forward_inference(inputs[i], ws);
+      }
+    }));
+  }
+  for (auto& f : pending) {
+    f.get();
+  }
+  return outputs;
 }
 
 Tensor Network::backward(const Tensor& grad_output) {

@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace sfn::util {
+class ThreadPool;
+}
+
 namespace sfn::nn {
 
 /// Sequential network: the container behind every surrogate CNN, the Yang
@@ -39,6 +43,21 @@ class Network {
   Tensor forward(const Tensor& input, bool train = false);
   /// Backprop dLoss/dOutput through the whole stack; returns dLoss/dInput.
   Tensor backward(const Tensor& grad_output);
+
+  /// Inference fast path: run the stack through each layer's forward_into,
+  /// ping-ponging activations between the workspace tensors. Returns a
+  /// reference into `ws` (valid until the next call with that workspace).
+  /// Does not touch layer training caches, so concurrent calls on a shared
+  /// const network are safe with one Workspace per thread; after warmup at
+  /// a given input shape the call performs no heap allocation.
+  const Tensor& forward_inference(const Tensor& input, Workspace& ws) const;
+
+  /// Evaluate independent inputs across `pool` (the paper's 20,480 input
+  /// problems are embarrassingly parallel). Each worker runs
+  /// forward_inference with its own Workspace and intra-op OpenMP disabled,
+  /// so results are identical to calling forward_inference sequentially.
+  std::vector<Tensor> forward_batch(const std::vector<Tensor>& inputs,
+                                    util::ThreadPool& pool) const;
 
   void zero_grads();
   [[nodiscard]] std::vector<ParamView> params();

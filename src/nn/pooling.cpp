@@ -2,6 +2,7 @@
 
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -62,6 +63,32 @@ Tensor MaxPool2D::forward(const Tensor& input, bool /*train*/) {
     }
   }
   return out;
+}
+
+void MaxPool2D::forward_into(const Tensor& input, Tensor& output,
+                             Workspace& /*ws*/) const {
+  const Shape in_shape = input.shape();
+  const Shape out_shape = output_shape(in_shape);
+  output.resize(out_shape);
+
+  std::size_t o = 0;
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x, ++o) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape.w) break;
+            best = std::max(best, input.at(c, iy, ix));
+          }
+        }
+        output[o] = best;
+      }
+    }
+  }
 }
 
 Tensor MaxPool2D::backward(const Tensor& grad_output) {
@@ -125,6 +152,33 @@ Tensor AvgPool2D::forward(const Tensor& input, bool /*train*/) {
     }
   }
   return out;
+}
+
+void AvgPool2D::forward_into(const Tensor& input, Tensor& output,
+                             Workspace& /*ws*/) const {
+  const Shape in_shape = input.shape();
+  const Shape out_shape = output_shape(in_shape);
+  output.resize(out_shape);
+
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        float acc = 0.0f;
+        int count = 0;
+        for (int dy = 0; dy < size_; ++dy) {
+          const int iy = y * size_ + dy;
+          if (iy >= in_shape.h) break;
+          for (int dx = 0; dx < size_; ++dx) {
+            const int ix = x * size_ + dx;
+            if (ix >= in_shape.w) break;
+            acc += input.at(c, iy, ix);
+            ++count;
+          }
+        }
+        output.at(c, y, x) = acc / static_cast<float>(count);
+      }
+    }
+  }
 }
 
 Tensor AvgPool2D::backward(const Tensor& grad_output) {
@@ -198,6 +252,20 @@ Tensor Upsample2D::forward(const Tensor& input, bool /*train*/) {
     }
   }
   return out;
+}
+
+void Upsample2D::forward_into(const Tensor& input, Tensor& output,
+                              Workspace& /*ws*/) const {
+  const Shape in_shape = input.shape();
+  const Shape out_shape = output_shape(in_shape);
+  output.resize(out_shape);
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int y = 0; y < out_shape.h; ++y) {
+      for (int x = 0; x < out_shape.w; ++x) {
+        output.at(c, y, x) = input.at(c, y / scale_, x / scale_);
+      }
+    }
+  }
 }
 
 Tensor Upsample2D::backward(const Tensor& grad_output) {

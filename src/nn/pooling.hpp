@@ -14,6 +14,8 @@ class MaxPool2D final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t flops(const Shape& input) const override {
     return input.numel();
@@ -39,6 +41,8 @@ class AvgPool2D final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t flops(const Shape& input) const override {
     return input.numel();
@@ -65,6 +69,8 @@ class Upsample2D final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t flops(const Shape& input) const override {
     return input.numel() * static_cast<std::uint64_t>(scale_) * scale_;

@@ -54,6 +54,23 @@ class Tensor {
 
   void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape to `shape`, growing the backing store if needed. Capacity is
+  /// never released, so resizing between a fixed set of shapes (the
+  /// inference ping-pong buffers in Workspace) allocates only until the
+  /// largest shape has been seen once. Contents are undefined after a
+  /// size-changing resize.
+  void resize(Shape shape) {
+    shape_ = shape;
+    data_.resize(shape.numel());
+  }
+
+  /// Become a copy of `other`, reusing the existing backing store
+  /// (vector::assign does not reallocate when capacity suffices).
+  void copy_from(const Tensor& other) {
+    shape_ = other.shape_;
+    data_.assign(other.data_.begin(), other.data_.end());
+  }
+
   /// Reinterpret as a flat vector (for dense layers); no copy.
   void flatten() { shape_ = Shape{1, 1, static_cast<int>(numel())}; }
 

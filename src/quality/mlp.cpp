@@ -40,7 +40,7 @@ nn::Network build_mlp(MlpTopology topology, util::Rng& rng) {
 double SuccessPredictor::predict(const modelgen::ArchSpec& spec, double q,
                                  double t) const {
   const nn::Tensor input = encode_features_tensor(spec, q, t, scale_);
-  const nn::Tensor output = net_.forward(input, /*train=*/false);
+  const nn::Tensor& output = net_.forward_inference(input, ws_);
   // The sigmoid head can saturate to exactly 0/1 in float; keep the
   // estimate a proper probability so Eq. 8 never sees a certain outcome.
   return std::clamp(static_cast<double>(output[0]), 1e-6, 1.0 - 1e-6);

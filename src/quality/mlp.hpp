@@ -2,6 +2,7 @@
 
 #include "modelgen/arch_spec.hpp"
 #include "nn/network.hpp"
+#include "nn/workspace.hpp"
 #include "quality/features.hpp"
 #include "quality/records.hpp"
 
@@ -48,7 +49,8 @@ class SuccessPredictor {
   [[nodiscard]] const FeatureScale& scale() const { return scale_; }
 
  private:
-  mutable nn::Network net_;  // forward() caches activations internally.
+  nn::Network net_;
+  mutable nn::Workspace ws_;  // Inference scratch, reused across predicts.
   FeatureScale scale_;
 };
 

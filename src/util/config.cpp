@@ -15,6 +15,14 @@ long long env_int(const std::string& name, long long fallback) {
   return (end != nullptr && *end == '\0') ? value : fallback;
 }
 
+std::string env_str(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  return raw;
+}
+
 namespace {
 
 bool parse_flag(std::string_view arg, std::string_view name, long long* out) {

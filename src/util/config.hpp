@@ -28,4 +28,8 @@ struct BenchConfig {
 /// Read an integer environment variable with a fallback.
 long long env_int(const std::string& name, long long fallback);
 
+/// Read a string environment variable with a fallback (empty counts as
+/// unset).
+std::string env_str(const std::string& name, const std::string& fallback);
+
 }  // namespace sfn::util

@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
                    util::fmt(ms_per_step, 2), util::fmt(mass, 1),
                    util::fmt(peak, 3), util::fmt(tompson.mean_qloss(), 4)});
   }
+  bench::write_json("BENCH_ablation_advection.json", ctx.cfg,
+                    {{"schemes", &table}});
   table.print("Advection ablation (" + std::to_string(grid) + "x" +
               std::to_string(grid) + "):");
   std::printf("\nexpected: MacCormack costs ~3x semi-Lagrangian per "

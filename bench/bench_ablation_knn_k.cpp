@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
   }
   end_to_end.print("\nEnd-to-end adaptive runtime per k (q = " +
                    util::fmt(q, 4) + "):");
+  bench::write_json("BENCH_ablation_knn_k.json", ctx.cfg,
+                    {{"leave_one_out", &loo}, {"end_to_end", &end_to_end}});
   std::printf("\nexpected: error flattens by k ~ 4-6 (the paper's choice); "
               "k = 1 is noisy, very large k oversmooths\n");
   return 0;

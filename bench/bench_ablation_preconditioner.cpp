@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
        [] { return std::make_unique<fluid::MultigridSolver>(); }},
   };
 
+  // Per-grid tables stay alive past the loop so they can all be mirrored
+  // into one BENCH_ablation_preconditioner.json at the end.
+  std::vector<std::pair<std::string, util::Table>> per_grid;
   for (const int grid : bench::grid_sweep(cfg)) {
     workload::ProblemSetParams params;
     params.grid = grid;
@@ -85,6 +88,14 @@ int main(int argc, char** argv) {
                 " (tolerance 1e-6):");
     std::printf("MIC(0) iteration advantage over plain CG: %.1fx\n\n",
                 static_cast<double>(cg_iters) / std::max(1, mic_iters));
+    per_grid.emplace_back("grid" + std::to_string(grid), std::move(table));
   }
+
+  std::vector<std::pair<std::string, const util::Table*>> tables;
+  tables.reserve(per_grid.size());
+  for (const auto& [name, table] : per_grid) {
+    tables.emplace_back(name, &table);
+  }
+  bench::write_json("BENCH_ablation_preconditioner.json", cfg, tables);
   return 0;
 }

@@ -145,6 +145,8 @@ int main(int argc, char** argv) {
                  util::fmt(reversed_seconds, 1), util::fmt(br.median, 4),
                  util::fmt(br.min, 4), util::fmt(br.max, 4)});
   table.print("Transformation-order ablation:");
+  bench::write_json("BENCH_ablation_transform_order.json", cfg,
+                    {{"orders", &table}});
 
   std::printf("\npaper's claim: its order generates models faster and/or "
               "more accurate; compare columns above\n");

@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
                    util::fmt(warm / tompson.mean_seconds(), 2)});
   }
   table.print("Warm-start ablation:");
+  bench::write_json("BENCH_ablation_warmstart.json", ctx.cfg,
+                    {{"warmstart", &table}});
   std::printf("\nexpected: warm start cuts PCG time noticeably, yet the "
               "surrogate should stay ahead of even the warm-started "
               "baseline\n");

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
   table.add_row({"Smart", "adaptive", util::fmt(smart_speedup, 1),
                  util::fmt(smart.mean_qloss(), 4)});
   table.print("Reproduction of Figure 10:");
+  bench::write_json("BENCH_fig10_candidate_speedup.json", ctx.cfg,
+                    {{"candidates", &table}});
 
   const auto [lo, hi] = std::minmax_element(speedups.begin(), speedups.end());
   std::printf("\ncandidate speedups span [%.1f, %.1f]; Smart at %.1f "

@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
   session.quality_requirement = q;
   const auto smart = bench::eval_smart(ctx.artifacts, problems, refs, session);
   const double smart_iqr = add_method("Smart", smart);
+  bench::write_json("BENCH_fig11_candidate_quality.json", ctx.cfg,
+                    {{"candidates", &table}});
   table.print("Reproduction of Figure 11 (boxplot statistics + success "
               "rate):");
 

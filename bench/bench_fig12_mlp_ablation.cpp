@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print("Reproduction of Figure 12:");
+  bench::write_json("BENCH_fig12_mlp_ablation.json", ctx.cfg,
+                    {{"ablation", &table}});
 
   std::printf("\nMLP selection >= no-MLP on %d/%d grids (paper: higher "
               "success everywhere, mean 88.86%% with MLP)\n",

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
                    util::fmt(smart.mean_seconds(), 3)});
   }
   table.print("Reproduction of Figure 13:");
+  bench::write_json("BENCH_fig13_check_interval.json", ctx.cfg,
+                    {{"intervals", &table}});
 
   // One problem flips the rate by 1/n at this scale; the claim to check
   // is that frequent checking does not *lose* to slow checking.

@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
                    util::fmt_pct(hist.fraction(b), 1)});
   }
   table.print("Reproduction of Figure 1 (histogram of Tompson Qloss):");
+  bench::write_json("BENCH_fig1_quality_distribution.json", ctx.cfg,
+                    {{"histogram", &table}});
 
   const auto box = stats::boxplot(tompson.qloss);
   std::printf("\nmean %.4f  median %.4f  [q1 %.4f, q3 %.4f]  max %.4f\n",

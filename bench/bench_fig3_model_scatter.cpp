@@ -71,12 +71,18 @@ int main(int argc, char** argv) {
 
   const auto front = stats::pareto_front(points);
   std::printf("scatter (CSV): model,origin,time_s,qloss,pareto\n");
+  util::Table scatter({"model", "origin", "time_s", "qloss", "pareto"});
   for (std::size_t k = 0; k < points.size(); ++k) {
     const bool on_front =
         std::find(front.begin(), front.end(), k) != front.end();
     std::printf("%zu,%s,%.4f,%.5f,%d\n", k, origins[k].c_str(),
                 points[k].cost, points[k].loss, on_front ? 1 : 0);
+    scatter.add_row({std::to_string(k), origins[k],
+                     util::fmt(points[k].cost, 4), util::fmt(points[k].loss, 5),
+                     on_front ? "1" : "0"});
   }
+  bench::write_json("BENCH_fig3_model_scatter.json", cfg,
+                    {{"scatter", &scatter}});
   std::printf("\nPareto candidates: %zu of %zu (paper: 14 of 133)\n",
               front.size(), points.size());
 

@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
     table.add_row(row);
   }
   table.print("Reproduction of Figure 5 (training loss every 5 epochs):");
+  bench::write_json("BENCH_fig5_mlp_training.json", ctx.cfg,
+                    {{"loss_curve", &table}});
 
   std::printf("\nfinal training losses:\n");
   for (std::size_t m = 0; m < curves.size(); ++m) {

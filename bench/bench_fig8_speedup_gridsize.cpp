@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
                    util::fmt(smart_speedup / tompson_speedup, 2)});
   }
   table.print("Reproduction of Figure 8 (mean over problems per grid):");
+  bench::write_json("BENCH_fig8_speedup_gridsize.json", ctx.cfg,
+                    {{"speedup", &table}});
 
   std::printf("\nmean Smart/Tompson speedup ratio: %.2f (paper: 1.46x "
               "average, up to 2.25x)\n",

@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print("Reproduction of Figure 9 (boxplot statistics):");
+  bench::write_json("BENCH_fig9_quality_boxplot.json", ctx.cfg,
+                    {{"boxplot", &table}});
 
   std::printf("\nSmart's interquartile range tighter than Tompson's on "
               "%d/%d grids (paper: smaller variance everywhere)\n",

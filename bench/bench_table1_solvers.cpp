@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
                                2),
                  util::fmt_sci(yang.mean_qloss(), 1)});
   table.print("Reproduction of Table 1:");
+  bench::write_json("BENCH_table1_solvers.json", ctx.cfg, {{"table1", &table}});
 
   std::printf("\nShape checks (paper ordering):\n");
   std::printf("  PCG slower than Tompson: %s\n",

@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
       ++smart_wins;
     }
   }
+  bench::write_json("BENCH_table2_success_rate.json", ctx.cfg,
+                    {{"table2", &table}});
   table.print("Reproduction of Table 2 (q = Tompson's mean Qloss per "
               "grid):");
 

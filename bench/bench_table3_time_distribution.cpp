@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print("Reproduction of Table 3:");
+  bench::write_json("BENCH_table3_time_distribution.json", ctx.cfg,
+                    {{"table3", &table}});
 
   std::printf("\nhighest-probability model also takes the largest time "
               "share: %s (paper: yes, 50.56%%)\n",

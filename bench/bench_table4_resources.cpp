@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
   table.add_row({"Smart-fluidnet", util::fmt(smart_flops / 1e6, 2) + " M",
                  util::fmt(smart_bytes / 1e6, 2) + " MB"});
   table.print("Reproduction of Table 4:");
+  bench::write_json("BENCH_table4_resources.json", ctx.cfg,
+                    {{"table4", &table}});
 
   std::printf("\nshape checks:\n");
   std::printf("  Smart per-step FLOP <= Tompson: %s (paper: 110.97M vs "

@@ -15,9 +15,9 @@ namespace sfn::bench {
 namespace {
 
 std::filesystem::path cache_dir() {
-  const char* env = std::getenv("SMARTFLUIDNET_CACHE_DIR");
-  return env != nullptr && *env != '\0' ? std::filesystem::path(env)
-                                        : std::filesystem::path("sfn_bench_cache");
+  // Environment access goes through util::config (no-raw-getenv lint rule).
+  return std::filesystem::path(
+      util::env_str("SMARTFLUIDNET_CACHE_DIR", "sfn_bench_cache"));
 }
 
 void save_trained_model(const core::TrainedModel& model,
@@ -250,6 +250,29 @@ double mean(const std::vector<double>& xs) {
   }
   return std::accumulate(xs.begin(), xs.end(), 0.0) /
          static_cast<double>(xs.size());
+}
+
+void write_json(
+    const std::string& filename, const util::BenchConfig& cfg,
+    const std::vector<std::pair<std::string, const util::Table*>>& tables) {
+  std::ofstream out(filename);
+  if (!out) {
+    std::fprintf(stderr, "[bench] WARNING: cannot write %s\n",
+                 filename.c_str());
+    return;
+  }
+  out << "{\n  \"config\": {\"scale\": " << cfg.scale
+      << ", \"max_grid\": " << cfg.max_grid
+      << ", \"time_steps\": " << cfg.time_steps << ", \"seed\": " << cfg.seed
+      << "},\n  \"tables\": {";
+  bool first = true;
+  for (const auto& [name, table] : tables) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << name << "\": " << table->to_json();
+  }
+  out << "\n  }\n}\n";
+  std::printf("[bench] wrote %s\n", filename.c_str());
 }
 
 void banner(const std::string& experiment, const std::string& paper_ref,

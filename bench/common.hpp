@@ -5,7 +5,9 @@
 #include "util/config.hpp"
 #include "util/table.hpp"
 
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// Shared infrastructure for the benchmark suite. Every bench binary
@@ -72,5 +74,16 @@ double mean(const std::vector<double>& xs);
 /// Print the standard bench banner (config, cache state, paper pointer).
 void banner(const std::string& experiment, const std::string& paper_ref,
             const util::BenchConfig& cfg);
+
+/// Mirror result tables into machine-readable `filename` (written in the
+/// working directory) so results can be checked by scripts and tracked
+/// across commits without re-parsing formatted console output. Every
+/// bench binary writes a BENCH_<name>.json — enforced by the
+/// bench-writes-json rule in tools/sfn_lint.py, which is why call sites
+/// pass the literal file name. The JSON carries the BenchConfig so a
+/// result can never be compared across different scales by accident.
+void write_json(
+    const std::string& filename, const util::BenchConfig& cfg,
+    const std::vector<std::pair<std::string, const util::Table*>>& tables);
 
 }  // namespace sfn::bench

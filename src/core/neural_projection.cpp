@@ -1,5 +1,6 @@
 #include "core/neural_projection.hpp"
 
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 #include <cmath>
@@ -81,6 +82,13 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
           (flags.is_fluid(i, j) && std::isfinite(v)) ? v : 0.0f;
     }
   }
+
+  // The sanitising loop above is the repo's NaN firewall (DESIGN.md §6):
+  // whatever the surrogate produced, the pressure handed to the simulator
+  // must be finite. Unlike the entry checks elsewhere this invariant is
+  // unconditional in numerics builds — it guards the contract itself.
+  SFN_CHECK_FINITE(pressure->data().data(), pressure->size(),
+                   "NeuralProjection::solve sanitised pressure");
 
   stats.iterations = 1;
   stats.converged = true;

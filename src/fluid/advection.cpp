@@ -1,5 +1,7 @@
 #include "fluid/advection.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -24,8 +26,11 @@ std::pair<double, double> backtrace(const MacGrid2& vel, double x, double y,
 float clamp_to_stencil(const GridF& grid, double gx, double gy, float value) {
   const int nx = grid.nx();
   const int ny = grid.ny();
-  const int i0 = std::clamp(static_cast<int>(std::floor(gx)), 0, nx - 1);
-  const int j0 = std::clamp(static_cast<int>(std::floor(gy)), 0, ny - 1);
+  // floor_cell clamps to the grid *before* the float→int cast: a NaN or
+  // huge backtraced position (bad surrogate velocity) must degrade to a
+  // border stencil, not undefined behaviour.
+  const int i0 = floor_cell(gx, 0, nx - 1);
+  const int j0 = floor_cell(gy, 0, ny - 1);
   const int i1 = std::min(i0 + 1, nx - 1);
   const int j1 = std::min(j0 + 1, ny - 1);
   float lo = grid(i0, j0);
@@ -95,6 +100,14 @@ void advect_grid(const MacGrid2& vel, double dt, double cells_per_unit,
 
 void advect_scalar(const MacGrid2& vel, const FlagGrid& flags, double dt,
                    const GridF& src, GridF* dst, AdvectionScheme scheme) {
+  // Solver-boundary invariant (opt-in): the projection sanitises surrogate
+  // output and the simulator clamps velocities, so non-finite inputs here
+  // mean an upstream stage skipped its sanitisation — diagnose at once.
+  SFN_CHECK_FINITE(vel.u().data().data(), vel.u().size(),
+                   "advect_scalar velocity u");
+  SFN_CHECK_FINITE(vel.v().data().data(), vel.v().size(),
+                   "advect_scalar velocity v");
+  SFN_CHECK_FINITE(src.data().data(), src.size(), "advect_scalar source");
   const double cells_per_unit = static_cast<double>(vel.nx());
   advect_grid(vel, dt, cells_per_unit, src, dst, 0.5, 0.5, scheme);
   // Solids keep their previous (typically zero) value.
@@ -109,6 +122,10 @@ void advect_scalar(const MacGrid2& vel, const FlagGrid& flags, double dt,
 
 void advect_velocity(const MacGrid2& vel, const FlagGrid& flags, double dt,
                      MacGrid2* dst, AdvectionScheme scheme) {
+  SFN_CHECK_FINITE(vel.u().data().data(), vel.u().size(),
+                   "advect_velocity velocity u");
+  SFN_CHECK_FINITE(vel.v().data().data(), vel.v().size(),
+                   "advect_velocity velocity v");
   const double cells_per_unit = static_cast<double>(vel.nx());
   // u faces sit at (i, j + 0.5) in cell space, v faces at (i + 0.5, j).
   advect_grid(vel, dt, cells_per_unit, vel.u(), &dst->u(), 0.0, 0.5, scheme);

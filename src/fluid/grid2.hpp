@@ -9,6 +9,26 @@
 
 namespace sfn::fluid {
 
+/// NaN-safe clamp of a sampling coordinate into [lo, hi]. NaN maps to lo —
+/// a corrupt position degrades to a border read instead of poisoning the
+/// cast below — and ±inf clamp like any out-of-range value.
+[[nodiscard]] inline double clamp_coord(double v, double lo, double hi) {
+  if (std::isnan(v)) {
+    return lo;
+  }
+  return std::clamp(v, lo, hi);
+}
+
+/// floor(v) as a cell index, clamped into [lo, hi] *before* the cast.
+/// Casting a NaN or out-of-int-range double to int is undefined behaviour
+/// (DESIGN.md §6 "Robustness" records a rollout that crashed exactly
+/// here), so every float→int conversion in src/fluid must go through this
+/// helper — enforced by the guarded-float-cast rule in tools/sfn_lint.py.
+[[nodiscard]] inline int floor_cell(double v, int lo, int hi) {
+  const double c = clamp_coord(std::floor(v), lo, hi);
+  return static_cast<int>(c);  // sfn-lint: safe-cast (clamped above)
+}
+
 /// Dense 2-D scalar grid in row-major (j-major) layout.
 ///
 /// Cell (i, j) has its centre at ((i + 0.5) * dx, (j + 0.5) * dx) in world
@@ -59,10 +79,10 @@ class Grid2 {
   /// coordinates coincide with cell indices, i.e. the sample lattice of
   /// this grid. Callers convert world/staggered offsets before calling.
   [[nodiscard]] T interpolate(double x, double y) const {
-    x = std::clamp(x, 0.0, static_cast<double>(nx_ - 1));
-    y = std::clamp(y, 0.0, static_cast<double>(ny_ - 1));
-    const int i0 = std::min(static_cast<int>(x), nx_ - 2 >= 0 ? nx_ - 2 : 0);
-    const int j0 = std::min(static_cast<int>(y), ny_ - 2 >= 0 ? ny_ - 2 : 0);
+    x = clamp_coord(x, 0.0, static_cast<double>(nx_ - 1));
+    y = clamp_coord(y, 0.0, static_cast<double>(ny_ - 1));
+    const int i0 = floor_cell(x, 0, nx_ - 2 >= 0 ? nx_ - 2 : 0);
+    const int j0 = floor_cell(y, 0, ny_ - 2 >= 0 ? ny_ - 2 : 0);
     const int i1 = std::min(i0 + 1, nx_ - 1);
     const int j1 = std::min(j0 + 1, ny_ - 1);
     const double fx = x - i0;

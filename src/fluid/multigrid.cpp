@@ -140,10 +140,8 @@ void MultigridSolver::vcycle(std::size_t level) {
       // Fine cell centre in coarse index space.
       const double xc = (i + 0.5) / 2.0 - 0.5;
       const double yc = (j + 0.5) / 2.0 - 0.5;
-      const int ci0 = std::clamp(static_cast<int>(std::floor(xc)), 0,
-                                 cnx - 1);
-      const int cj0 = std::clamp(static_cast<int>(std::floor(yc)), 0,
-                                 cny - 1);
+      const int ci0 = floor_cell(xc, 0, cnx - 1);
+      const int cj0 = floor_cell(yc, 0, cny - 1);
       const int ci1 = std::min(ci0 + 1, cnx - 1);
       const int cj1 = std::min(cj0 + 1, cny - 1);
       const double fx = std::clamp(xc - ci0, 0.0, 1.0);

@@ -1,6 +1,7 @@
 #include "fluid/pcg.hpp"
 
 #include "fluid/operators.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 #include <cmath>
@@ -213,6 +214,12 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
   const auto cells = static_cast<std::uint64_t>(nx) * ny;
   SolveStats stats;
 
+  // Solver-boundary invariant (opt-in SFN_CHECK_NUMERICS): a non-finite
+  // rhs would silently poison p through the very first apply_a.
+  SFN_CHECK_FINITE(rhs.data().data(), rhs.size(), "PcgSolver::solve rhs");
+  SFN_CHECK_FINITE(pressure->data().data(), pressure->size(),
+                   "PcgSolver::solve initial pressure guess");
+
   if (!precond_valid_ || !(cached_flags_ == flags)) {
     build_preconditioner(flags);
     cached_flags_ = flags;
@@ -309,6 +316,9 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
                               : 0.0f;
     }
   }
+
+  SFN_CHECK_FINITE(pressure->data().data(), pressure->size(),
+                   "PcgSolver::solve pressure result");
 
   stats.iterations = iter;
   stats.residual = residual;

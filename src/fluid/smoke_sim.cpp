@@ -26,10 +26,12 @@ void SmokeSim::apply_sources() {
   const int ny = flags_.ny();
   const double dx = 1.0 / nx;
   for (const auto& src : sources_) {
-    const int lo_i = std::max(0, static_cast<int>((src.cx - src.radius) / dx) - 1);
-    const int hi_i = std::min(nx - 1, static_cast<int>((src.cx + src.radius) / dx) + 1);
-    const int lo_j = std::max(0, static_cast<int>((src.cy - src.radius) / dx) - 1);
-    const int hi_j = std::min(ny - 1, static_cast<int>((src.cy + src.radius) / dx) + 1);
+    // floor_cell guards the float→int casts against NaN/out-of-range
+    // source configs; the ±1 margin keeps the cover of the circle.
+    const int lo_i = std::max(0, floor_cell((src.cx - src.radius) / dx, 0, nx - 1) - 1);
+    const int hi_i = std::min(nx - 1, floor_cell((src.cx + src.radius) / dx, 0, nx - 1) + 1);
+    const int lo_j = std::max(0, floor_cell((src.cy - src.radius) / dx, 0, ny - 1) - 1);
+    const int hi_j = std::min(ny - 1, floor_cell((src.cy + src.radius) / dx, 0, ny - 1) + 1);
     for (int j = lo_j; j <= hi_j; ++j) {
       for (int i = lo_i; i <= hi_i; ++i) {
         const double x = (i + 0.5) * dx;

@@ -16,7 +16,8 @@ namespace sfn::nn {
 namespace {
 
 ConvAlgo parse_env_algo() {
-  const std::string v = util::env_str("SFN_CONV_ALGO", "auto");
+  const std::string v = util::env_choice(
+      "SFN_CONV_ALGO", {"auto", "naive", "0", "gemm", "im2col", "1"}, "auto");
   if (v == "naive" || v == "0") return ConvAlgo::kNaive;
   if (v == "gemm" || v == "im2col" || v == "1") return ConvAlgo::kIm2colGemm;
   return ConvAlgo::kAuto;
@@ -29,9 +30,19 @@ std::atomic<ConvAlgo>& algo_override_state() {
 
 }  // namespace
 
-ConvAlgo conv_algo_override() { return algo_override_state().load(); }
+// Release/acquire pairing: a thread that observes a new override also
+// observes every write the setter made before publishing it, so flipping
+// the algorithm while forward_batch workers are mid-flight is safe — each
+// Conv2D::choose_algo call sees either the old or the new value, never a
+// torn or stale-beyond-the-store state (tests/conv_algo_test.cpp flips it
+// under a running forward_batch; the TSan preset verifies the ordering).
+ConvAlgo conv_algo_override() {
+  return algo_override_state().load(std::memory_order_acquire);
+}
 
-void set_conv_algo_override(ConvAlgo algo) { algo_override_state() = algo; }
+void set_conv_algo_override(ConvAlgo algo) {
+  algo_override_state().store(algo, std::memory_order_release);
+}
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, bool residual)
     : in_c_(in_channels),

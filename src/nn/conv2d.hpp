@@ -15,9 +15,16 @@ enum class ConvAlgo {
 };
 
 /// Process-wide algorithm override. Defaults to the SFN_CONV_ALGO
-/// environment variable ("naive", "gemm"/"im2col", or "auto"); kAuto
-/// defers to each layer's shape heuristic. Benches flip this to compare
-/// both paths in one process.
+/// environment variable ("naive", "gemm"/"im2col", or "auto", parsed via
+/// util::env_choice); kAuto defers to each layer's shape heuristic.
+/// Benches flip this to compare both paths in one process.
+///
+/// Thread safety: the override is an atomic with release/acquire
+/// ordering, so set_conv_algo_override may be called while inference
+/// (including Network::forward_batch) is running concurrently. Each conv
+/// dispatch observes either the old or the new value; both kernels agree
+/// to ≤1e-5 relative tolerance (DESIGN.md §8), so a mid-batch flip
+/// changes speed, never correctness.
 [[nodiscard]] ConvAlgo conv_algo_override();
 void set_conv_algo_override(ConvAlgo algo);
 

@@ -5,6 +5,7 @@
 #include "nn/dense.hpp"
 #include "nn/pooling.hpp"
 #include "nn/serialize.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 #include <omp.h>
@@ -114,9 +115,22 @@ const Tensor& Network::forward_inference(const Tensor& input,
   const Tensor* cur = &input;
   Tensor* bufs[2] = {&ws.x0, &ws.x1};
   int next = 0;
+  SFN_CHECK_FINITE(input.data().data(), input.numel(),
+                   "Network::forward_inference input");
   for (const auto& layer : layers_) {
     Tensor* out = bufs[next];
     layer->forward_into(*cur, *out, ws);
+#ifdef SFN_CHECK_NUMERICS
+    // A blown-up layer names itself here instead of corrupting every
+    // downstream DivNorm/CumDivNorm measurement. describe() allocates, so
+    // scan first and build the label only on failure — the happy path must
+    // stay heap-free (WorkspaceReuse.SteadyStateInferenceIsAllocationFree).
+    if (!util::all_finite(out->data().data(), out->numel())) {
+      util::check_finite_or_throw(out->data().data(), out->numel(),
+                                  layer->describe().c_str(), __FILE__,
+                                  __LINE__);
+    }
+#endif
     cur = out;
     next = 1 - next;
   }

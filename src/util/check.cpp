@@ -1,0 +1,62 @@
+#include "util/check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sfn::util {
+
+namespace {
+
+template <typename T>
+std::size_t first_non_finite_impl(const T* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      return i;
+    }
+  }
+  return n;
+}
+
+template <typename T>
+void check_finite_impl(const T* data, std::size_t n, const char* what,
+                       const char* file, int line) {
+  const std::size_t i = first_non_finite_impl(data, n);
+  if (i == n) {
+    return;
+  }
+  std::ostringstream detail;
+  detail << what << ": element " << i << " of " << n << " is " << data[i];
+  check_failed("SFN_CHECK_FINITE", "all_finite", file, line, detail.str());
+}
+
+}  // namespace
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& detail) {
+  std::ostringstream msg;
+  msg << kind << " failed at " << file << ":" << line << ": " << expr;
+  if (!detail.empty()) {
+    msg << " — " << detail;
+  }
+  throw CheckError(msg.str());
+}
+
+std::size_t first_non_finite(const float* data, std::size_t n) {
+  return first_non_finite_impl(data, n);
+}
+
+std::size_t first_non_finite(const double* data, std::size_t n) {
+  return first_non_finite_impl(data, n);
+}
+
+void check_finite_or_throw(const float* data, std::size_t n, const char* what,
+                           const char* file, int line) {
+  check_finite_impl(data, n, what, file, line);
+}
+
+void check_finite_or_throw(const double* data, std::size_t n, const char* what,
+                           const char* file, int line) {
+  check_finite_impl(data, n, what, file, line);
+}
+
+}  // namespace sfn::util

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sfn::util {
+
+/// Thrown by the SFN_CHECK* macros. Throwing (rather than aborting) keeps
+/// the failure testable and lets long-running drivers report which problem
+/// tripped the invariant; the what() string carries file:line, the failed
+/// expression and any caller-supplied context.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Build the diagnostic and throw CheckError. `kind` names the macro,
+/// `expr` is the stringified condition, `detail` is free-form context.
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& detail);
+
+/// Index of the first NaN/Inf element, or `n` when all values are finite.
+[[nodiscard]] std::size_t first_non_finite(const float* data, std::size_t n);
+[[nodiscard]] std::size_t first_non_finite(const double* data, std::size_t n);
+
+[[nodiscard]] inline bool all_finite(const float* data, std::size_t n) {
+  return first_non_finite(data, n) == n;
+}
+[[nodiscard]] inline bool all_finite(const double* data, std::size_t n) {
+  return first_non_finite(data, n) == n;
+}
+
+/// Implementation detail of SFN_CHECK_FINITE: scan and throw with the
+/// offending index and value on failure.
+void check_finite_or_throw(const float* data, std::size_t n, const char* what,
+                           const char* file, int line);
+void check_finite_or_throw(const double* data, std::size_t n, const char* what,
+                           const char* file, int line);
+
+}  // namespace sfn::util
+
+/// Always-on invariant check for cheap scalar conditions at subsystem
+/// boundaries (this project builds Release without NDEBUG, so SFN_CHECK and
+/// assert cost alike; prefer SFN_CHECK for its actionable message).
+#define SFN_CHECK(cond, detail)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::sfn::util::check_failed("SFN_CHECK", #cond, __FILE__, __LINE__,      \
+                                (detail));                                   \
+    }                                                                        \
+  } while (false)
+
+/// Debug invariant: compiled out when NDEBUG is defined (it is not in any
+/// of this repo's presets) and always active under SFN_CHECK_NUMERICS.
+#if defined(SFN_CHECK_NUMERICS) || !defined(NDEBUG)
+#define SFN_DCHECK(cond, detail) SFN_CHECK(cond, detail)
+#else
+#define SFN_DCHECK(cond, detail) ((void)0)
+#endif
+
+/// O(n) NaN/Inf sweep over a float/double buffer, active only in the
+/// opt-in -DSFN_CHECK_NUMERICS=ON build mode (see DESIGN.md §9). Placed at
+/// layer and solver boundaries so a non-finite value names its producer
+/// immediately instead of corrupting every downstream DivNorm measurement.
+#ifdef SFN_CHECK_NUMERICS
+#define SFN_CHECK_FINITE(ptr, n, what)                                       \
+  ::sfn::util::check_finite_or_throw((ptr), (n), (what), __FILE__, __LINE__)
+#else
+#define SFN_CHECK_FINITE(ptr, n, what) ((void)0)
+#endif

@@ -23,6 +23,18 @@ std::string env_str(const std::string& name, const std::string& fallback) {
   return raw;
 }
 
+std::string env_choice(const std::string& name,
+                       std::initializer_list<std::string_view> allowed,
+                       const std::string& fallback) {
+  const std::string value = env_str(name, fallback);
+  for (const std::string_view option : allowed) {
+    if (value == option) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
 namespace {
 
 bool parse_flag(std::string_view arg, std::string_view name, long long* out) {

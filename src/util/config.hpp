@@ -1,6 +1,8 @@
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
 
 namespace sfn::util {
 
@@ -26,10 +28,22 @@ struct BenchConfig {
 };
 
 /// Read an integer environment variable with a fallback.
+///
+/// These helpers are the repo's only sanctioned route to the process
+/// environment (enforced by the no-raw-getenv rule in tools/sfn_lint.py):
+/// keeping every std::getenv behind util::config makes the read-once /
+/// never-setenv-after-threads-start discipline auditable in one file.
 long long env_int(const std::string& name, long long fallback);
 
 /// Read a string environment variable with a fallback (empty counts as
 /// unset).
 std::string env_str(const std::string& name, const std::string& fallback);
+
+/// Read an enumerated environment variable: returns the variable's value
+/// when it is one of `allowed`, otherwise `fallback` (unset, empty and
+/// unrecognised all fall back). Used for e.g. SFN_CONV_ALGO.
+std::string env_choice(const std::string& name,
+                       std::initializer_list<std::string_view> allowed,
+                       const std::string& fallback);
 
 }  // namespace sfn::util

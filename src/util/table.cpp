@@ -76,6 +76,47 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+std::string Table::to_json() const {
+  std::ostringstream out;
+  auto emit_string = [&](const std::string& s) {
+    out << '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out << buf;
+          } else {
+            out << ch;
+          }
+      }
+    }
+    out << '"';
+  };
+  auto emit_array = [&](const std::vector<std::string>& row) {
+    out << '[';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ", ";
+      emit_string(row[c]);
+    }
+    out << ']';
+  };
+  out << "{\"columns\": ";
+  emit_array(header_);
+  out << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ", ";
+    emit_array(rows_[r]);
+  }
+  out << "]}";
+  return out.str();
+}
+
 void Table::print(const std::string& caption) const {
   if (!caption.empty()) {
     std::cout << caption << '\n';

@@ -20,11 +20,23 @@ class Table {
   /// Render as CSV (comma-separated, minimal quoting).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Render as a JSON object {"columns": [...], "rows": [[...], ...]} with
+  /// every cell a string, exactly as printed. Machine-readable mirror of
+  /// the console output for the BENCH_*.json artifacts.
+  [[nodiscard]] std::string to_json() const;
+
   /// Print to stdout with an optional caption line.
   void print(const std::string& caption = "") const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -1,9 +1,11 @@
 #include "fluid/advection.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace sfn {
 namespace {
@@ -148,6 +150,56 @@ TEST(Advection, VelocitySelfAdvectionKeepsSolidFacesPinned) {
   EXPECT_FLOAT_EQ(out.u()(9, 8), 0.0f);
   EXPECT_FLOAT_EQ(out.v()(8, 8), 0.0f);
   EXPECT_FLOAT_EQ(out.v()(8, 9), 0.0f);
+}
+
+TEST(Advection, NanVelocityDoesNotInvokeUndefinedBehaviour) {
+  // Regression: the semi-Lagrangian/MacCormack backtrace used to cast the
+  // backtraced coordinate straight to int. With a NaN velocity (diverged
+  // surrogate) that cast is undefined behaviour; clamp_coord/floor_cell now
+  // pin NaN to the grid's low edge before the cast. Under UBSan this test
+  // is the gate; in default builds it asserts the output stays finite, and
+  // with -DSFN_CHECK_NUMERICS=ON the entry check rejects the field instead.
+  const int n = 16;
+  const FlagGrid flags = open_box(n);
+  const float nan_f = std::numeric_limits<float>::quiet_NaN();
+  GridF src(n, n, 0.5f);
+
+  for (const auto scheme : {AdvectionScheme::kSemiLagrangian,
+                            AdvectionScheme::kMacCormack}) {
+    SCOPED_TRACE(static_cast<int>(scheme));
+    MacGrid2 vel(n, n);
+    vel.fill(0.25f, -0.25f);
+    vel.u()(7, 7) = nan_f;  // One poisoned face is enough to hit the cast.
+    vel.v()(3, 9) = -std::numeric_limits<float>::infinity();
+    GridF dst(n, n, 0.0f);
+#ifdef SFN_CHECK_NUMERICS
+    EXPECT_THROW(fluid::advect_scalar(vel, flags, 0.1, src, &dst, scheme),
+                 util::CheckError);
+#else
+    fluid::advect_scalar(vel, flags, 0.1, src, &dst, scheme);
+    for (std::size_t k = 0; k < dst.size(); ++k) {
+      EXPECT_TRUE(std::isfinite(dst[k])) << "cell " << k;
+    }
+#endif
+  }
+}
+
+TEST(Advection, NanVelocitySelfAdvectionIsDefined) {
+  const int n = 12;
+  const FlagGrid flags = open_box(n);
+  MacGrid2 vel(n, n);
+  vel.fill(0.1f, 0.1f);
+  vel.u()(5, 5) = std::numeric_limits<float>::quiet_NaN();
+  MacGrid2 out(n, n);
+#ifdef SFN_CHECK_NUMERICS
+  EXPECT_THROW(fluid::advect_velocity(vel, flags, 0.05, &out),
+               util::CheckError);
+#else
+  // Must complete without UB (sanitizer builds verify); NaN may propagate
+  // to cells whose backtrace sampled the poisoned face, but every lookup
+  // stays in bounds.
+  fluid::advect_velocity(vel, flags, 0.05, &out);
+#endif
 }
 
 TEST(Advection, ResolutionIndependentDisplacement) {

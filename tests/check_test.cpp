@@ -1,0 +1,104 @@
+// Tests for the numeric-invariant layer (util/check.hpp): the SFN_CHECK /
+// SFN_DCHECK macros, the finite-scan helpers, and the SFN_CHECK_FINITE
+// behaviour in both the default and -DSFN_CHECK_NUMERICS=ON builds.
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sfn::util {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(SFN_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(SFN_CHECK(false, "forced failure"), CheckError);
+}
+
+TEST(CheckTest, MessageCarriesExpressionFileAndDetail) {
+  try {
+    SFN_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "SFN_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckTest, DcheckActiveInProjectBuilds) {
+  // The repo builds every preset without NDEBUG, so SFN_DCHECK must fire.
+  EXPECT_THROW(SFN_DCHECK(false, "dcheck"), CheckError);
+}
+
+TEST(CheckTest, FirstNonFiniteFindsNanAndInf) {
+  const float nan_f = std::numeric_limits<float>::quiet_NaN();
+  const float inf_f = std::numeric_limits<float>::infinity();
+  const std::vector<float> clean = {0.0f, -1.5f, 3.0e30f};
+  EXPECT_EQ(first_non_finite(clean.data(), clean.size()), clean.size());
+  EXPECT_TRUE(all_finite(clean.data(), clean.size()));
+
+  const std::vector<float> with_nan = {1.0f, nan_f, 2.0f};
+  EXPECT_EQ(first_non_finite(with_nan.data(), with_nan.size()), 1u);
+  EXPECT_FALSE(all_finite(with_nan.data(), with_nan.size()));
+
+  const std::vector<float> with_inf = {1.0f, 2.0f, -inf_f};
+  EXPECT_EQ(first_non_finite(with_inf.data(), with_inf.size()), 2u);
+}
+
+TEST(CheckTest, FirstNonFiniteDoubleOverload) {
+  const double nan_d = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> with_nan = {0.0, 1.0, nan_d, 3.0};
+  EXPECT_EQ(first_non_finite(with_nan.data(), with_nan.size()), 2u);
+  const std::vector<double> clean = {0.0, 1.0, 2.0};
+  EXPECT_TRUE(all_finite(clean.data(), clean.size()));
+}
+
+TEST(CheckTest, EmptyBufferIsFinite) {
+  EXPECT_TRUE(all_finite(static_cast<const float*>(nullptr), 0));
+  EXPECT_TRUE(all_finite(static_cast<const double*>(nullptr), 0));
+}
+
+TEST(CheckTest, CheckFiniteOrThrowNamesOffendingIndex) {
+  const float nan_f = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> data = {1.0f, 2.0f, nan_f};
+  try {
+    check_finite_or_throw(data.data(), data.size(), "test buffer", __FILE__,
+                          __LINE__);
+    FAIL() << "check_finite_or_throw did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test buffer"), std::string::npos) << what;
+    EXPECT_NE(what.find('2'), std::string::npos) << what;  // index of the NaN
+  }
+}
+
+TEST(CheckTest, CheckFiniteOrThrowPassesOnCleanData) {
+  const std::vector<double> data = {1.0, -2.0, 0.0};
+  EXPECT_NO_THROW(check_finite_or_throw(data.data(), data.size(), "clean",
+                                        __FILE__, __LINE__));
+}
+
+TEST(CheckTest, CheckFiniteMacroMatchesBuildMode) {
+  const float nan_f = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> data = {nan_f};
+#ifdef SFN_CHECK_NUMERICS
+  EXPECT_THROW(SFN_CHECK_FINITE(data.data(), data.size(), "macro"),
+               CheckError);
+#else
+  // Compiled out in default builds: non-finite data passes through.
+  EXPECT_NO_THROW(SFN_CHECK_FINITE(data.data(), data.size(), "macro"));
+#endif
+}
+
+}  // namespace
+}  // namespace sfn::util

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <vector>
 
 // ---------------------------------------------------------------------------
@@ -243,6 +244,55 @@ TEST(ForwardBatch, MatchesSequentialInference) {
       ASSERT_EQ(expected[i][j], batched[i][j]) << "problem " << i;
     }
   }
+}
+
+TEST(ConvAlgoDispatch, OverrideFlipDuringForwardBatchIsSafe) {
+  // set_conv_algo_override is documented as safe to call while inference
+  // runs on other threads (atomic with acquire/release ordering): a flip
+  // changes which kernel a conv picks, never the result beyond kernel
+  // tolerance. TSan verifies the absence of a data race; this test verifies
+  // the correctness contract by hammering flips while forward_batch runs.
+  nn::Network net;
+  net.emplace<nn::Conv2D>(2, 8, 3);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Conv2D>(8, 8, 3, /*residual=*/true);
+  net.emplace<nn::Conv2D>(8, 1, 1);
+
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 24; ++i) {
+    inputs.push_back(random_tensor(Shape{2, 24, 24}, 4000 + i));
+  }
+
+  nn::set_conv_algo_override(nn::ConvAlgo::kAuto);
+  nn::Workspace ws;
+  std::vector<Tensor> expected;
+  for (const auto& in : inputs) {
+    expected.push_back(net.forward_inference(in, ws));
+  }
+
+  util::ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    const nn::ConvAlgo algos[] = {nn::ConvAlgo::kNaive,
+                                  nn::ConvAlgo::kIm2colGemm,
+                                  nn::ConvAlgo::kAuto};
+    std::size_t k = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      nn::set_conv_algo_override(algos[k++ % 3]);
+    }
+  });
+
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<Tensor> batched = net.forward_batch(inputs, pool);
+    ASSERT_EQ(expected.size(), batched.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      expect_close(expected[i], batched[i], 1e-5);
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+  nn::set_conv_algo_override(nn::ConvAlgo::kAuto);
 }
 
 TEST(WorkspaceReuse, SteadyStateInferenceIsAllocationFree) {

@@ -1,0 +1,139 @@
+// Stress tests for util::ThreadPool, sized to give TSan enough
+// interleavings to catch submit/shutdown and parallel_for races. These
+// tests are part of the sanitizer gate: they must run clean under
+// -DSFN_SANITIZE=thread (see DESIGN.md §9).
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace sfn::util {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentSubmittersSeeEveryTask) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 64;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> submitters;
+  std::vector<std::future<void>> futures[kSubmitters];
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &executed, &futures, s] {
+      for (int t = 0; t < kTasksPerSubmitter; ++t) {
+        futures[s].push_back(pool.submit(
+            [&executed] { executed.fetch_add(1, std::memory_order_relaxed); }));
+      }
+    });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+  for (auto& per_submitter : futures) {
+    for (auto& future : per_submitter) {
+      future.get();
+    }
+  }
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksPerSubmitter);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromMultipleThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kCount = 512;
+  std::atomic<std::size_t> total{0};
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &total] {
+      pool.parallel_for(kCount, [&total](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& thread : callers) {
+    thread.join();
+  }
+  EXPECT_EQ(total.load(), kCallers * kCount);
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount,
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, RapidConstructDestroy) {
+  for (int round = 0; round < 32; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    auto f1 = pool.submit([&ran] { ran.fetch_add(1); });
+    auto f2 = pool.submit([&ran] { ran.fetch_add(1); });
+    f1.get();
+    f2.get();
+    EXPECT_EQ(ran.load(), 2);
+    // Destructor runs here with an empty queue; next round re-creates
+    // the workers immediately, hammering startup/shutdown handshakes.
+  }
+}
+
+TEST(ThreadPoolStressTest, DestroyWithQueuedTasksRunsThemAll) {
+  // The pool drains its queue on destruction; futures obtained before the
+  // destructor must all resolve.
+  std::vector<std::future<void>> futures;
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 128; ++t) {
+      futures.push_back(pool.submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    // Destructor fires while most tasks are still queued.
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(executed.load(), 128);
+}
+
+TEST(ThreadPoolStressTest, TasksSubmittingTasks) {
+  // Tasks that submit further tasks exercise the queue lock from worker
+  // threads, not just the owner thread.
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> outer;
+  std::mutex inner_mutex;
+  std::vector<std::future<void>> inner;
+  for (int t = 0; t < 32; ++t) {
+    outer.push_back(pool.submit([&] {
+      auto f = pool.submit(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+      const std::lock_guard<std::mutex> lock(inner_mutex);
+      inner.push_back(std::move(f));
+    }));
+  }
+  for (auto& future : outer) {
+    future.get();
+  }
+  for (auto& future : inner) {
+    future.get();
+  }
+  EXPECT_EQ(executed.load(), 32);
+}
+
+}  // namespace
+}  // namespace sfn::util

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Project lint for smartfluidnet, wired as the `lint` ctest target.
+
+Mechanically enforceable project rules (see DESIGN.md §9):
+
+  R1 hot-path-alloc     No heap allocation or Tensor construction inside
+                        `*_into(` function bodies under src/nn/ — the
+                        steady-state inference path must reuse workspaces
+                        (tests/conv_algo_test.cpp asserts the same at
+                        runtime; this rule catches it at review time).
+  R2 raw-getenv         All environment access goes through util::config
+                        (env_str/env_int/env_choice). `std::getenv` is
+                        allowed only in src/util/config.cpp.
+  R3 unguarded-cast     `static_cast<int/long>` in src/fluid/ must carry a
+                        `// sfn-lint: safe-cast` annotation proving the
+                        operand was clamped/NaN-checked first — a raw
+                        float->int cast of a NaN or out-of-range value is
+                        undefined behaviour (DESIGN.md §6 records a real
+                        crash from exactly this).
+  R4 bench-json         Every bench/bench_*.cpp writes a machine-readable
+                        BENCH_*.json artifact next to its stdout tables.
+
+Escape hatches are deliberate annotations, not config: append
+`// sfn-lint: allow-alloc` (R1) or `// sfn-lint: safe-cast` (R3) to the
+offending line, with a reason, and the rule skips it.
+
+If clang-tidy is installed and the build dir has compile_commands.json,
+the checks in .clang-tidy run too; otherwise that pass is skipped so the
+lint target stays green on machines without clang-tidy.
+
+Exit status: 0 when no findings, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+FINDINGS: list[str] = []
+
+
+def report(rule: str, path: pathlib.Path, line_no: int, message: str) -> None:
+    FINDINGS.append(f"{path}:{line_no}: [{rule}] {message}")
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop a trailing // comment (good enough: no string-literal parsing
+    is needed for the patterns these rules match)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+# --------------------------------------------------------------------------
+# R1: no allocation in *_into() bodies under src/nn/.
+
+INTO_DEF_RE = re.compile(r"^\w[\w:<>,&*\s]*\b(\w+_into)\s*\(")
+ALLOC_RES = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/operator new"),
+    (re.compile(r"\bstd::make_unique\b|\bstd::make_shared\b"), "make_unique/make_shared"),
+    (re.compile(r"\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\("), "malloc-family call"),
+    (re.compile(r"^\s*(?:std::)?vector\s*<"), "local std::vector construction"),
+    (re.compile(r"^\s*(?:nn::)?Tensor\s+\w+\s*[({=;]"), "local Tensor construction"),
+]
+
+
+def into_function_bodies(text: str):
+    """Yield (start_line_no, body_lines) for each *_into() definition.
+
+    Brace counting starts at the definition line; declarations (ending in
+    ';' before any '{') are skipped.
+    """
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = INTO_DEF_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        # Find the opening brace (or a ';' => declaration, skip).
+        j = i
+        depth = 0
+        opened = False
+        body: list[tuple[int, str]] = []
+        while j < len(lines):
+            code = strip_line_comment(lines[j])
+            if not opened and ";" in code and "{" not in code:
+                break  # Declaration only.
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+            if opened:
+                body.append((j + 1, lines[j]))
+            if opened and depth == 0:
+                yield i + 1, body
+                break
+            j += 1
+        i = j + 1
+
+
+def rule_hot_path_alloc(root: pathlib.Path) -> None:
+    for path in sorted((root / "src" / "nn").glob("*.cpp")):
+        text = path.read_text(encoding="utf-8")
+        for _, body in into_function_bodies(text):
+            for line_no, raw in body:
+                if "sfn-lint: allow-alloc" in raw:
+                    continue
+                code = strip_line_comment(raw)
+                for pattern, what in ALLOC_RES:
+                    if pattern.search(code):
+                        report(
+                            "hot-path-alloc", path.relative_to(root), line_no,
+                            f"{what} inside a *_into() body; reuse the "
+                            "Workspace (or annotate `// sfn-lint: "
+                            "allow-alloc` with a reason)")
+
+
+# --------------------------------------------------------------------------
+# R2: std::getenv only in src/util/config.cpp.
+
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
+
+
+def rule_raw_getenv(root: pathlib.Path) -> None:
+    allowed = root / "src" / "util" / "config.cpp"
+    for sub in ("src", "tests", "bench", "tools"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.[ch]pp")):
+            if path == allowed:
+                continue
+            for line_no, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if GETENV_RE.search(strip_line_comment(raw)):
+                    report(
+                        "raw-getenv", path.relative_to(root), line_no,
+                        "raw std::getenv; route through util::env_str/"
+                        "env_int/env_choice (src/util/config.hpp)")
+
+
+# --------------------------------------------------------------------------
+# R3: float->int casts in src/fluid/ need the safe-cast annotation.
+
+NARROWING_CAST_RE = re.compile(r"static_cast<\s*(?:int|long(?:\s+long)?)\s*>\s*\(")
+
+
+def rule_unguarded_cast(root: pathlib.Path) -> None:
+    for path in sorted((root / "src" / "fluid").rglob("*.[ch]pp")):
+        for line_no, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if "sfn-lint: safe-cast" in raw:
+                continue
+            if NARROWING_CAST_RE.search(strip_line_comment(raw)):
+                report(
+                    "unguarded-cast", path.relative_to(root), line_no,
+                    "static_cast to int/long in src/fluid/ without "
+                    "`// sfn-lint: safe-cast`; NaN/out-of-range float->int "
+                    "is UB — clamp via fluid::floor_cell/clamp_coord first")
+
+
+# --------------------------------------------------------------------------
+# R4: every bench binary writes a BENCH_*.json artifact.
+
+# Any string literal naming the artifact counts — bench_micro_kernels
+# passes it inside a --benchmark_out= flag rather than bare.
+BENCH_JSON_RE = re.compile(r'"[^"\n]*BENCH_\w+\.json[^"\n]*"')
+
+
+def rule_bench_json(root: pathlib.Path) -> None:
+    for path in sorted((root / "bench").glob("bench_*.cpp")):
+        if not BENCH_JSON_RE.search(path.read_text(encoding="utf-8")):
+            report(
+                "bench-json", path.relative_to(root), 1,
+                "bench binary never writes a BENCH_*.json artifact; call "
+                "bench::write_json(\"BENCH_<name>.json\", ...) after "
+                "printing tables")
+
+
+# --------------------------------------------------------------------------
+# Optional clang-tidy pass (skipped when unavailable).
+
+def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        return "skipped (clang-tidy not installed)"
+    if build_dir is None or not (build_dir / "compile_commands.json").exists():
+        return "skipped (no compile_commands.json; configure with CMake first)"
+    sources = sorted(str(p) for p in (root / "src").rglob("*.cpp"))
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", *sources],
+        capture_output=True, text=True, check=False)
+    hit = False
+    for line in proc.stdout.splitlines():
+        if ": warning:" in line or ": error:" in line:
+            FINDINGS.append(f"[clang-tidy] {line}")
+            hit = True
+    if proc.returncode != 0 and not hit:
+        # Tooling failure (bad flags, missing headers), not code findings.
+        sys.stderr.write(proc.stderr)
+        FINDINGS.append(f"[clang-tidy] exited {proc.returncode} "
+                        "without reporting findings — tooling failure")
+    return f"ran over {len(sources)} files"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=None,
+                        help="build tree holding compile_commands.json "
+                             "(enables the clang-tidy pass)")
+    parser.add_argument("--no-clang-tidy", action="store_true",
+                        help="skip the clang-tidy pass even if available")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    rule_hot_path_alloc(root)
+    rule_raw_getenv(root)
+    rule_unguarded_cast(root)
+    rule_bench_json(root)
+    if args.no_clang_tidy:
+        tidy_status = "skipped (--no-clang-tidy)"
+    else:
+        tidy_status = run_clang_tidy(root, args.build_dir)
+
+    print(f"sfn_lint: project rules checked, clang-tidy {tidy_status}")
+    if FINDINGS:
+        print(f"sfn_lint: {len(FINDINGS)} finding(s):")
+        for finding in FINDINGS:
+            print(f"  {finding}")
+        return 1
+    print("sfn_lint: 0 findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@
 
 #include "bench/common.hpp"
 #include "core/neural_projection.hpp"
+#include "core/session.hpp"
 #include "fluid/operators.hpp"
 #include "fluid/pcg.hpp"
+#include "runtime/controller.hpp"
 #include "stats/correlation.hpp"
 
 int main(int argc, char** argv) {
@@ -83,7 +85,24 @@ int main(int argc, char** argv) {
   util::Table correlation({"Metric", "Value", "Paper"});
   correlation.add_row({"Pearson r", util::fmt(rp, 3), "0.61"});
   correlation.add_row({"Spearman rho", util::fmt(rs, 3), "0.79"});
+
+  // Runtime check-point view of the same signal: each controller decision
+  // with the CumDivNorm it observed and when (wall clock) the check ran.
+  util::Table decisions(
+      {"Step", "Decision", "CumDivNorm", "Pred. Qloss", "Offset (s)"});
+  const auto adaptive =
+      core::run_adaptive(problems.front(), ctx.artifacts, {});
+  for (const auto& ev : adaptive.events) {
+    decisions.add_row({std::to_string(ev.step), runtime::to_string(ev.decision),
+                       util::fmt_sci(ev.cum_div_norm, 2),
+                       util::fmt(ev.predicted_quality, 5),
+                       util::fmt(ev.seconds_offset, 4)});
+  }
+  decisions.print("\nController check points (first problem, adaptive run):");
+
   bench::write_json("BENCH_fig6_cumdivnorm.json", ctx.cfg,
-                    {{"trace", &trace}, {"correlation", &correlation}});
+                    {{"trace", &trace},
+                     {"correlation", &correlation},
+                     {"decisions", &decisions}});
   return 0;
 }

@@ -261,7 +261,14 @@ void write_json(
                  filename.c_str());
     return;
   }
-  out << "{\n  \"config\": {\"scale\": " << cfg.scale
+  // Run provenance: every benchmark artifact names the commit and build
+  // configuration that produced it, so numbers in BENCH_*.json are
+  // attributable long after the build tree is gone.
+  const util::BuildInfo info = util::build_info();
+  out << "{\n  \"provenance\": {\"git_sha\": \"" << info.git_sha
+      << "\", \"build_type\": \"" << info.build_type << "\", \"sanitize\": \""
+      << info.sanitize << "\", \"check_numerics\": \"" << info.check_numerics
+      << "\"},\n  \"config\": {\"scale\": " << cfg.scale
       << ", \"max_grid\": " << cfg.max_grid
       << ", \"time_steps\": " << cfg.time_steps << ", \"seed\": " << cfg.seed
       << "},\n  \"tables\": {";

@@ -1,0 +1,121 @@
+// Telemetry end-to-end demo and self-check, run by CI's lint job.
+//
+// Builds the tiny offline artifacts, runs one adaptive session under
+// SFN_TRACE=full, exports the chrome-trace JSON (SFN_TRACE_FILE, default
+// sfn_trace.json — load it in chrome://tracing or Perfetto), prints the
+// phase-summary and metrics tables, and verifies the subsystem's core
+// accounting claim: the traced session time matches SessionResult::seconds
+// (which run_adaptive itself derives from the telemetry stream) to within
+// 5%, and the per-step events partition that span. Exits non-zero when the
+// accounting does not hold, so CI catches a regression in either the
+// instrumentation or the exporter.
+
+#include "core/smart_fluidnet.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "workload/problems.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+int main() {
+  using namespace sfn;
+
+  if (obs::trace_mode() != obs::TraceMode::kFull) {
+    std::printf("[obs_demo] SFN_TRACE=%s; forcing full mode for this run\n",
+                obs::to_string(obs::trace_mode()).c_str());
+    obs::set_trace_mode(obs::TraceMode::kFull);
+  }
+
+  std::printf("[obs_demo] building tiny offline artifacts...\n");
+  const auto artifacts = core::SmartFluidnet::prepare(
+      core::OfflineConfig::tiny(), core::UserRequirement{0.05, 60.0});
+  std::printf("[obs_demo] %zu models, %zu selected\n",
+              artifacts.library.size(), artifacts.selected_ids.size());
+
+  workload::ProblemSetParams params;
+  params.grid = 32;
+  params.steps = 16;
+  const auto problems = workload::generate_problems(1, params, 2026);
+
+  // Trace the online session alone: the offline phase above produced a
+  // torrent of events that would otherwise fill the bounded buffers
+  // (which drop the newest events) before the part we want to inspect.
+  obs::reset_thread_buffers();
+  obs::reset_metrics();
+  const auto result = core::run_adaptive(problems[0], artifacts, {});
+  std::printf("[obs_demo] adaptive session: %.3fs over %zu steps, "
+              "%zu decisions, restart=%s\n",
+              result.seconds, result.model_per_step.size(),
+              result.events.size(),
+              result.restarted_with_pcg ? "yes" : "no");
+
+  const auto events = obs::snapshot_events();
+  double session_total = 0.0;
+  double step_total = 0.0;
+  for (const auto& ev : events) {
+    const std::string_view name = ev.name;
+    if (name == "session.adaptive" || name == "session.restart_pcg") {
+      // The restart re-run nests inside session.adaptive; count the root
+      // scope only.
+      if (name == "session.adaptive") session_total += ev.seconds();
+    } else if (name == "session.step") {
+      step_total += ev.seconds();
+    }
+  }
+
+  const std::string path = util::env_str("SFN_TRACE_FILE", "sfn_trace.json");
+  if (obs::write_chrome_trace_file(path)) {
+    std::printf("[obs_demo] wrote %zu events to %s\n", events.size(), path.c_str());
+  } else {
+    std::printf("[obs_demo] ERROR: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  if (obs::dropped_events() > 0) {
+    std::printf("[obs_demo] note: %llu events dropped (raise "
+                "SFN_TRACE_BUFFER for longer sessions)\n",
+                static_cast<unsigned long long>(obs::dropped_events()));
+  }
+
+  obs::phase_summary_table().print("Phase summary (aggregates):");
+  obs::model_time_table(events).print("Wall time per library model:");
+  obs::metrics_table().print("Metrics registry:");
+
+  // Accounting self-check. SessionResult::seconds is itself derived from
+  // the telemetry stream, so the full-mode buffers must agree with it.
+  bool ok = true;
+  const double rel_err =
+      std::abs(session_total - result.seconds) /
+      (result.seconds > 0.0 ? result.seconds : 1.0);
+  std::printf("[obs_demo] traced session total %.4fs vs result %.4fs "
+              "(rel err %.2f%%)\n",
+              session_total, result.seconds, 100.0 * rel_err);
+  if (rel_err > 0.05) {
+    std::printf("[obs_demo] FAIL: traced phase total deviates > 5%%\n");
+    ok = false;
+  }
+  if (!(step_total > 0.0) || step_total > session_total) {
+    std::printf("[obs_demo] FAIL: step events (%.4fs) do not partition "
+                "the session span (%.4fs)\n",
+                step_total, session_total);
+    ok = false;
+  }
+  double attributed = 0.0;
+  for (const auto& [id, seconds] : result.seconds_per_model) {
+    (void)id;
+    attributed += seconds;
+  }
+  if (std::abs(attributed - step_total) > 1e-9 + 0.01 * step_total) {
+    std::printf("[obs_demo] FAIL: seconds_per_model (%.4fs) disagrees "
+                "with step events (%.4fs)\n",
+                attributed, step_total);
+    ok = false;
+  }
+  std::printf("[obs_demo] %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -20,6 +20,10 @@
 #include "core/smart_fluidnet.hpp"
 #include "fluid/operators.hpp"
 #include "fluid/pcg.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/config.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -181,6 +185,23 @@ int cmd_simulate(const std::map<std::string, std::string>& args) {
   for (const auto& [id, seconds] : result.seconds_per_model) {
     std::printf("  model %2zu: %.3fs (%s)\n", id, seconds,
                 artifacts.library[id].origin.c_str());
+  }
+
+  // With SFN_TRACE=summary|full the run also carries obs telemetry:
+  // surface the phase and metrics tables, and in full mode export the
+  // chrome-trace timeline to SFN_TRACE_FILE.
+  if (obs::trace_mode() != obs::TraceMode::kOff) {
+    obs::phase_summary_table().print("\nPhase summary (SFN_TRACE):");
+    obs::metrics_table().print("\nMetrics registry:");
+    if (obs::trace_mode() == obs::TraceMode::kFull) {
+      const std::string trace_path =
+          util::env_str("SFN_TRACE_FILE", "sfn_trace.json");
+      if (obs::write_chrome_trace_file(trace_path)) {
+        std::printf("\nwrote chrome-trace timeline to %s "
+                    "(open in chrome://tracing)\n",
+                    trace_path.c_str());
+      }
+    }
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/neural_projection.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -63,6 +64,7 @@ NeuralProjection::NeuralProjection(nn::Network net, std::string name)
 fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
                                           const fluid::GridF& rhs,
                                           fluid::GridF* pressure) {
+  SFN_TRACE_SCOPE("projection.inference");
   const util::Timer timer;
   fluid::SolveStats stats;
 

@@ -2,12 +2,47 @@
 
 #include "core/neural_projection.hpp"
 #include "fluid/pcg.hpp"
-#include "util/timer.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 namespace sfn::core {
+
+namespace {
+
+// Scope names used by the sessions below. The session installs an
+// obs::TraceCapture and derives all SessionResult timing from the captured
+// telemetry stream (instead of the bespoke util::Timer bookkeeping it used
+// to carry): one source of truth for the chrome-trace export, the summary
+// tables and the returned result. Direct TraceScope objects (not the
+// SFN_TRACE_SCOPE macros) keep this working under -DSFN_TRACE_MACROS=OFF,
+// and TraceCapture records on the calling thread even with SFN_TRACE=off.
+constexpr const char* kAdaptiveScope = "session.adaptive";
+constexpr const char* kFixedScope = "session.fixed";
+constexpr const char* kStepScope = "session.step";
+constexpr const char* kRestartScope = "session.restart_pcg";
+
+/// Fill `result` timing fields from the captured stream: total seconds from
+/// the root scope, per-model attribution and the model-per-step trace from
+/// the "session.step" events (whose arg is the library model id).
+void derive_timing(const std::vector<obs::TraceEvent>& events,
+                   std::string_view root_name, SessionResult* result) {
+  result->model_per_step.clear();
+  for (const auto& ev : events) {
+    const std::string_view name = ev.name;
+    if (name == kStepScope && ev.has_arg) {
+      const auto model_id = static_cast<std::size_t>(ev.arg);
+      result->seconds_per_model[model_id] += ev.seconds();
+      result->model_per_step.push_back(model_id);
+    } else if (name == root_name) {
+      result->seconds = ev.seconds();
+    }
+  }
+}
+
+}  // namespace
 
 SessionResult run_adaptive(const workload::InputProblem& problem,
                            const OfflineArtifacts& artifacts,
@@ -15,7 +50,6 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
   if (artifacts.selected_ids.empty()) {
     throw std::invalid_argument("run_adaptive: no selected models");
   }
-  const util::Timer total_timer;
   SessionResult result;
 
   // Candidates ordered least-accurate -> most-accurate: that is the axis
@@ -55,50 +89,60 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
                                             quality_requirement,
                                             problem.steps);
 
-  fluid::SmokeSim sim = workload::make_sim(problem);
-  result.model_per_step.reserve(static_cast<std::size_t>(problem.steps));
-  for (int step = 0; step < problem.steps; ++step) {
-    const std::size_t pos = controller.current_candidate();
-    const std::size_t model_id = candidates[pos].model_id;
-    const util::Timer step_timer;
-    const auto telemetry = sim.step(solvers[pos].get());
-    result.seconds_per_model[model_id] += step_timer.seconds();
-    result.model_per_step.push_back(model_id);
+  obs::TraceCapture capture;
+  {
+    obs::TraceScope session_scope(kAdaptiveScope);
+    fluid::SmokeSim sim = workload::make_sim(problem);
+    for (int step = 0; step < problem.steps; ++step) {
+      const std::size_t pos = controller.current_candidate();
+      fluid::StepTelemetry telemetry;
+      {
+        obs::TraceScope step_scope(kStepScope, candidates[pos].model_id);
+        telemetry = sim.step(solvers[pos].get());
+      }
+      const auto decision = controller.on_step(step, telemetry.cum_div_norm);
+      if (decision == runtime::Decision::kRestartPcg) {
+        break;
+      }
+    }
+    result.events = controller.events();
 
-    const auto decision = controller.on_step(step, telemetry.cum_div_norm);
-    if (decision == runtime::Decision::kRestartPcg) {
-      break;
+    if (controller.restart_requested()) {
+      // Algorithm 2 line 16: no model can meet q — redo the whole problem
+      // with the exact solver. The aborted neural time stays in the bill,
+      // which is exactly the risk Eq. 8's selection prices in.
+      result.restarted_with_pcg = true;
+      obs::TraceScope restart_scope(kRestartScope);
+      fluid::PcgSolver pcg;
+      const auto run = workload::run_simulation(problem, &pcg);
+      result.final_density = run.final_density;
+    } else {
+      result.final_density = sim.density();
     }
   }
-  result.events = controller.events();
 
-  if (controller.restart_requested()) {
-    // Algorithm 2 line 16: no model can meet q — redo the whole problem
-    // with the exact solver. The aborted neural time stays in the bill,
-    // which is exactly the risk Eq. 8's selection prices in.
-    result.restarted_with_pcg = true;
-    fluid::PcgSolver pcg;
-    const auto run = workload::run_simulation(problem, &pcg);
-    result.final_density = run.final_density;
-  } else {
-    result.final_density = sim.density();
-  }
-
-  result.seconds = total_timer.seconds();
+  derive_timing(capture.events(), kAdaptiveScope, &result);
   return result;
 }
 
 SessionResult run_fixed(const workload::InputProblem& problem,
                         const TrainedModel& model) {
-  const util::Timer timer;
   SessionResult result;
   NeuralProjection solver(model.net, model.spec.name);
-  const auto run = workload::run_simulation(problem, &solver);
-  result.final_density = run.final_density;
-  result.seconds = timer.seconds();
-  result.seconds_per_model[model.records.model_id] = result.seconds;
-  result.model_per_step.assign(static_cast<std::size_t>(problem.steps),
-                               model.records.model_id);
+  const std::size_t model_id = model.records.model_id;
+
+  obs::TraceCapture capture;
+  {
+    obs::TraceScope session_scope(kFixedScope);
+    fluid::SmokeSim sim = workload::make_sim(problem);
+    for (int step = 0; step < problem.steps; ++step) {
+      obs::TraceScope step_scope(kStepScope, model_id);
+      sim.step(&solver);
+    }
+    result.final_density = sim.density();
+  }
+
+  derive_timing(capture.events(), kFixedScope, &result);
   return result;
 }
 

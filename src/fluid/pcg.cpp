@@ -1,6 +1,8 @@
 #include "fluid/pcg.hpp"
 
 #include "fluid/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -208,6 +210,12 @@ void PcgSolver::apply_preconditioner(const FlagGrid& flags, const GridF& r,
 
 SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
                             GridF* pressure) {
+  SFN_TRACE_SCOPE("pcg.solve");
+  static obs::Counter& solves = obs::counter("pcg.solves");
+  static obs::Counter& iterations = obs::counter("pcg.iterations");
+  static obs::Counter& precond_builds = obs::counter("pcg.precond_builds");
+  static obs::Histogram& residuals = obs::histogram("pcg.residual");
+  solves.add();
   const util::Timer timer;
   const int nx = flags.nx();
   const int ny = flags.ny();
@@ -224,6 +232,7 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
     build_preconditioner(flags);
     cached_flags_ = flags;
     precond_valid_ = true;
+    precond_builds.add();
     stats.flops += cells * 12;
   }
 
@@ -256,6 +265,7 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
     stats.converged = true;
     stats.residual = residual;
     stats.seconds = timer.seconds();
+    residuals.observe(residual);
     return stats;
   }
 
@@ -322,6 +332,8 @@ SolveStats PcgSolver::solve(const FlagGrid& flags, const GridF& rhs,
 
   stats.iterations = iter;
   stats.residual = residual;
+  iterations.add(static_cast<std::uint64_t>(iter));
+  residuals.observe(residual);
   // ~7 flops/cell for A, 2x2 for dots, 3x2 for axpy, ~14 for IC solves.
   stats.flops += static_cast<std::uint64_t>(iter + 1) * cells * 33;
   stats.seconds = timer.seconds();

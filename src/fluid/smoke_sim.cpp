@@ -1,6 +1,8 @@
 #include "fluid/smoke_sim.hpp"
 
 #include "fluid/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 #include <cmath>
@@ -103,77 +105,97 @@ void SmokeSim::add_vorticity_confinement() {
 }
 
 StepTelemetry SmokeSim::step(PoissonSolver* solver) {
+  SFN_TRACE_SCOPE("sim.step");
   const util::Timer timer;
   StepTelemetry out;
   const int nx = flags_.nx();
   const int ny = flags_.ny();
 
-  // 1. Advection (Algorithm 1 line 4).
-  advect_scalar(vel_, flags_, params_.dt, density_, &density_scratch_,
-                params_.advection);
-  std::swap(density_, density_scratch_);
-  advect_velocity(vel_, flags_, params_.dt, &vel_scratch_, params_.advection);
-  std::swap(vel_, vel_scratch_);
+  {
+    // 1. Advection (Algorithm 1 line 4).
+    SFN_TRACE_SCOPE("sim.advect");
+    advect_scalar(vel_, flags_, params_.dt, density_, &density_scratch_,
+                  params_.advection);
+    std::swap(density_, density_scratch_);
+    advect_velocity(vel_, flags_, params_.dt, &vel_scratch_,
+                    params_.advection);
+    std::swap(vel_, vel_scratch_);
+  }
 
-  // 2. Body force (line 5): Boussinesq buoyancy on v faces.
-  const float buoy = static_cast<float>(params_.buoyancy * params_.dt);
+  {
+    // 2.-3. Body force (line 5: Boussinesq buoyancy on v faces), optional
+    // vorticity confinement, sources, and solid-face pinning before
+    // measuring div.
+    SFN_TRACE_SCOPE("sim.forces");
+    const float buoy = static_cast<float>(params_.buoyancy * params_.dt);
 #pragma omp parallel for schedule(static)
-  for (int j = 1; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      if (flags_.is_fluid(i, j - 1) && flags_.is_fluid(i, j)) {
-        vel_.v()(i, j) +=
-            buoy * 0.5f * (density_(i, j - 1) + density_(i, j));
+    for (int j = 1; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (flags_.is_fluid(i, j - 1) && flags_.is_fluid(i, j)) {
+          vel_.v()(i, j) +=
+              buoy * 0.5f * (density_(i, j - 1) + density_(i, j));
+        }
       }
     }
+
+    if (params_.vorticity_confinement > 0.0) {
+      add_vorticity_confinement();
+    }
+
+    apply_sources();
+    vel_.enforce_solid_boundaries(flags_);
   }
 
-  if (params_.vorticity_confinement > 0.0) {
-    add_vorticity_confinement();
-  }
-
-  // 3. Emit sources and pin solid-face velocities before measuring div.
-  apply_sources();
-  vel_.enforce_solid_boundaries(flags_);
-
-  // 4. Pressure projection (lines 6-18): solve A p = -div(u*).
-  divergence(vel_, flags_, &divergence_);
+  {
+    // 4. Pressure projection (lines 6-18): solve A p = -div(u*).
+    SFN_TRACE_SCOPE("sim.project");
+    divergence(vel_, flags_, &divergence_);
 #pragma omp parallel for schedule(static)
-  for (int j = 0; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      rhs_(i, j) = -divergence_(i, j);
-    }
-  }
-  if (!params_.warm_start_pressure) {
-    pressure_.fill(0.0f);  // Algorithm 1 line 9: initial guess p = 0.
-  }
-  out.solve = solver->solve(flags_, rhs_, &pressure_);
-  subtract_pressure_gradient(pressure_, flags_, &vel_);
-  vel_.enforce_solid_boundaries(flags_);
-
-  // Safety clamp: approximate pressure solves can feed energy back into
-  // the velocity field; keep components finite and bounded so telemetry
-  // and quality metrics stay well-defined.
-  const auto vmax = static_cast<float>(params_.max_velocity);
-  auto clamp_grid = [vmax](GridF& g) {
-    for (std::size_t k = 0; k < g.size(); ++k) {
-      float v = g[k];
-      if (!std::isfinite(v)) {
-        v = 0.0f;
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        rhs_(i, j) = -divergence_(i, j);
       }
-      g[k] = std::clamp(v, -vmax, vmax);
     }
-  };
-  clamp_grid(vel_.u());
-  clamp_grid(vel_.v());
+    if (!params_.warm_start_pressure) {
+      pressure_.fill(0.0f);  // Algorithm 1 line 9: initial guess p = 0.
+    }
+    out.solve = solver->solve(flags_, rhs_, &pressure_);
+    subtract_pressure_gradient(pressure_, flags_, &vel_);
+    vel_.enforce_solid_boundaries(flags_);
 
-  // 5. Telemetry: DivNorm of the projected velocity (Eq. 5) and its
-  // running accumulation (Eq. 9).
-  out.div_norm =
-      div_norm(vel_, flags_, solid_distance_, params_.divnorm_weight_k);
+    // Safety clamp: approximate pressure solves can feed energy back into
+    // the velocity field; keep components finite and bounded so telemetry
+    // and quality metrics stay well-defined.
+    const auto vmax = static_cast<float>(params_.max_velocity);
+    auto clamp_grid = [vmax](GridF& g) {
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        float v = g[k];
+        if (!std::isfinite(v)) {
+          v = 0.0f;
+        }
+        g[k] = std::clamp(v, -vmax, vmax);
+      }
+    };
+    clamp_grid(vel_.u());
+    clamp_grid(vel_.v());
+  }
+
+  {
+    // 5. Telemetry: DivNorm of the projected velocity (Eq. 5) and its
+    // running accumulation (Eq. 9).
+    SFN_TRACE_SCOPE("sim.divnorm");
+    out.div_norm =
+        div_norm(vel_, flags_, solid_distance_, params_.divnorm_weight_k);
+  }
   cum_div_norm_ += out.div_norm;
   out.cum_div_norm = cum_div_norm_;
   ++steps_;
   out.step_seconds = timer.seconds();
+
+  static obs::Counter& steps_counter = obs::counter("sim.steps");
+  static obs::Histogram& divnorm_hist = obs::histogram("sim.div_norm");
+  steps_counter.add();
+  divnorm_hist.observe(out.div_norm);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "nn/gemm.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sfn::nn {
 
 namespace {
@@ -35,6 +37,8 @@ void kernel_strip(int K, const float* __restrict a, const float* __restrict b,
 
 void sgemm_acc(int M, std::size_t N, int K, const float* A, std::size_t lda,
                const float* B, std::size_t ldb, float* C, std::size_t ldc) {
+  static obs::Counter& gemm_calls = obs::counter("nn.gemm_calls");
+  gemm_calls.add();
   const auto nstrips = static_cast<std::ptrdiff_t>(N / kGemmStrip);
 
 #pragma omp parallel for schedule(static)

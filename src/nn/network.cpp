@@ -5,6 +5,8 @@
 #include "nn/dense.hpp"
 #include "nn/pooling.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -105,10 +107,18 @@ Tensor Network::forward(const Tensor& input, bool train) {
 
 const Tensor& Network::forward_inference(const Tensor& input,
                                          Workspace& ws) const {
+  SFN_TRACE_SCOPE("nn.forward_inference");
+  static obs::Counter& calls = obs::counter("nn.inference_calls");
+  static obs::Gauge& ws_bytes = obs::gauge("nn.workspace_bytes");
+  calls.add();
   if (layers_.empty()) {
     ws.x0.copy_from(input);
     return ws.x0;
   }
+  // Per-layer tracing is gated on full mode: one event per layer per call
+  // is too chatty for summary aggregation but invaluable when attributing
+  // inference time to individual conv/pool stages.
+  const bool trace_layers = obs::trace_mode() == obs::TraceMode::kFull;
   // Ping-pong between the two workspace tensors so no layer ever reads and
   // writes the same buffer; `cur` starts at the caller's input and always
   // points at the most recent activation.
@@ -117,7 +127,10 @@ const Tensor& Network::forward_inference(const Tensor& input,
   int next = 0;
   SFN_CHECK_FINITE(input.data().data(), input.numel(),
                    "Network::forward_inference input");
-  for (const auto& layer : layers_) {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& layer = layers_[li];
+    obs::TraceScope layer_scope(trace_layers ? "nn.layer" : nullptr,
+                                static_cast<std::uint64_t>(li));
     Tensor* out = bufs[next];
     layer->forward_into(*cur, *out, ws);
 #ifdef SFN_CHECK_NUMERICS
@@ -134,11 +147,14 @@ const Tensor& Network::forward_inference(const Tensor& input,
     cur = out;
     next = 1 - next;
   }
+  ws_bytes.set(static_cast<double>(
+      (ws.col_capacity() + ws.x0.numel() + ws.x1.numel()) * sizeof(float)));
   return *cur;
 }
 
 std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
                                            util::ThreadPool& pool) const {
+  SFN_TRACE_SCOPE("nn.forward_batch");
   std::vector<Tensor> outputs(inputs.size());
   const std::size_t workers =
       std::min(std::max<std::size_t>(pool.size(), 1), inputs.size());

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sfn::util {
+class Table;
+}
+
+namespace sfn::obs {
+
+/// Write every event currently held in the thread buffers (SFN_TRACE=full)
+/// as chrome-tracing JSON: a top-level array with one complete ("ph":"X")
+/// event object per line, loadable in chrome://tracing and Perfetto and
+/// greppable/parseable line by line. Timestamps are microseconds since the
+/// process trace epoch; nesting depth and the optional attribution id ride
+/// in "args".
+void write_chrome_trace(std::ostream& out);
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+/// Write to `path`; returns false (and stays silent) when the file cannot
+/// be opened. The conventional path is util::env_str("SFN_TRACE_FILE",
+/// "sfn_trace.json").
+bool write_chrome_trace_file(const std::string& path);
+
+/// One event parsed back from a chrome-trace file (the mirror of
+/// write_chrome_trace, used by the round-trip tests and trace tooling).
+struct ParsedEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  int depth = 0;
+  std::optional<std::uint64_t> id;
+};
+
+/// Parse a chrome-trace stream produced by write_chrome_trace. Tolerant of
+/// unknown fields; throws std::runtime_error on structurally broken input.
+std::vector<ParsedEvent> parse_chrome_trace(std::istream& in);
+
+/// End-of-run summary: wall time attributed to scope names
+/// (Phase | Count | Total s | Mean ms | Min ms | Max ms | Share), built
+/// from the cross-thread aggregates (available in summary and full modes).
+/// Share is each phase's fraction of the summed *top-level* total, so
+/// nested scopes can exceed 100% in aggregate — the table is an
+/// attribution aid, not a partition.
+[[nodiscard]] util::Table phase_summary_table();
+
+/// Wall time attributed to library model ids, reconstructed from
+/// "session.step" events in `events` (Model | Steps | Seconds | Share).
+[[nodiscard]] util::Table model_time_table(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace sfn::obs

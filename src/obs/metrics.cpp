@@ -1,0 +1,223 @@
+#include "obs/metrics.hpp"
+
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sfn::obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1: not yet read from the environment.
+
+/// Instruments live behind unique_ptr in name-keyed maps so references
+/// handed to call sites stay valid forever. One mutex guards registration
+/// only; updates never touch it.
+struct MetricsRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry();  // Leaked by design.
+  return *r;
+}
+
+/// Single-writer-free atomic double accumulation (works on any thread).
+void atomic_add(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>* target, double v) {
+  double current = target->load(std::memory_order_relaxed);
+  while (v < current && !target->compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>* target, double v) {
+  double current = target->load(std::memory_order_relaxed);
+  while (v > current && !target->compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+int bin_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return 0;
+  }
+  const int exp = std::ilogb(v);
+  return std::clamp(exp + Histogram::kBinOffset, 0, Histogram::kBins - 1);
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  int enabled = g_enabled.load(std::memory_order_relaxed);
+  if (enabled < 0) {
+    enabled = util::env_choice("SFN_METRICS", {"on", "off"}, "on") == "on";
+    g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  return enabled != 0;
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(&sum_, v);
+  if (n == 0) {
+    // First sample initialises min/max; racing observers fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(&min_, v);
+  atomic_max(&max_, v);
+  bins_[static_cast<std::size_t>(bin_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  for (int i = 0; i < kBins; ++i) {
+    s.bins[static_cast<std::size_t>(i)] =
+        bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::approx_quantile(double p) const {
+  const Snapshot s = snapshot();
+  if (s.count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(s.count - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBins; ++i) {
+    seen += s.bins[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      return std::ldexp(1.0, i - kBinOffset + 1);  // Upper bin edge.
+    }
+  }
+  return s.max;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : bins_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& counter(std::string_view name) {
+  MetricsRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.counters.find(name);
+  if (it == reg.counters.end()) {
+    it = reg.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  MetricsRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.gauges.find(name);
+  if (it == reg.gauges.end()) {
+    it = reg.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  MetricsRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.histograms.find(name);
+  if (it == reg.histograms.end()) {
+    it = reg.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricValue> all_metrics() {
+  std::vector<MetricValue> out;
+  MetricsRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [name, c] : reg.counters) {
+    out.push_back({name, "counter", c.get(), nullptr, nullptr});
+  }
+  for (const auto& [name, g] : reg.gauges) {
+    out.push_back({name, "gauge", nullptr, g.get(), nullptr});
+  }
+  for (const auto& [name, h] : reg.histograms) {
+    out.push_back({name, "histogram", nullptr, nullptr, h.get()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+util::Table metrics_table() {
+  util::Table table({"Metric", "Type", "Count", "Value/Mean", "Min", "Max"});
+  for (const auto& m : all_metrics()) {
+    if (m.counter != nullptr) {
+      table.add_row({m.name, m.type, std::to_string(m.counter->value()),
+                     std::to_string(m.counter->value()), "", ""});
+    } else if (m.gauge != nullptr) {
+      table.add_row(
+          {m.name, m.type, "1", util::fmt_sci(m.gauge->value(), 3), "", ""});
+    } else if (m.histogram != nullptr) {
+      const auto s = m.histogram->snapshot();
+      table.add_row({m.name, m.type, std::to_string(s.count),
+                     util::fmt_sci(s.mean(), 3), util::fmt_sci(s.min, 3),
+                     util::fmt_sci(s.max, 3)});
+    }
+  }
+  return table;
+}
+
+void reset_metrics() {
+  MetricsRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [name, c] : reg.counters) {
+    c->reset();
+  }
+  for (const auto& [name, g] : reg.gauges) {
+    g->reset();
+  }
+  for (const auto& [name, h] : reg.histograms) {
+    h->reset();
+  }
+}
+
+}  // namespace sfn::obs

@@ -1,0 +1,302 @@
+#include "obs/trace.hpp"
+
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+namespace sfn::obs {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Process trace epoch: timestamps are seconds since the first time the
+/// obs layer is touched, so exported traces start near zero.
+clock::time_point epoch() {
+  static const clock::time_point t0 = clock::now();
+  return t0;
+}
+
+constexpr std::size_t kAggSlots = 256;  ///< Distinct scope names per thread.
+
+std::atomic<int> g_mode{-1};  // -1: not yet read from the environment.
+std::atomic<std::size_t> g_capacity{0};  // 0: not yet read.
+
+std::size_t buffer_capacity() {
+  std::size_t cap = g_capacity.load(std::memory_order_acquire);
+  if (cap == 0) {
+    const long long env = util::env_int("SFN_TRACE_BUFFER", 16384);
+    cap = env > 16 ? static_cast<std::size_t>(env) : 16;
+    g_capacity.store(cap, std::memory_order_release);
+  }
+  return cap;
+}
+
+/// Per-thread event buffer + per-name aggregates. The owner thread is the
+/// only writer; the exporter reads concurrently. Event slots are published
+/// with a release store of `size` and never mutated afterwards (the buffer
+/// drops the newest events once full), so the owner path is lock-free and
+/// reader/writer never touch the same bytes unsynchronised. Aggregate
+/// fields are relaxed atomics for the same single-writer reason.
+struct ThreadBuffer {
+  struct Agg {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{0.0};
+  };
+
+  explicit ThreadBuffer(std::uint32_t id, std::size_t capacity)
+      : thread_id(id), ring(capacity) {}
+
+  void push_event(const TraceEvent& ev) {
+    const std::size_t n = size.load(std::memory_order_relaxed);
+    if (n >= ring.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring[n] = ev;
+    size.store(n + 1, std::memory_order_release);
+  }
+
+  void update_aggregate(const char* name, double seconds) {
+    // Open addressing on the literal's pointer value. Distinct literals
+    // with equal text land in distinct slots; the exporter merges by
+    // string comparison.
+    auto h = reinterpret_cast<std::uintptr_t>(name);
+    h ^= h >> 9;
+    for (std::size_t probe = 0; probe < kAggSlots; ++probe) {
+      Agg& slot = aggs[(h + probe) % kAggSlots];
+      const char* current = slot.name.load(std::memory_order_relaxed);
+      if (current == nullptr) {
+        slot.name.store(name, std::memory_order_release);
+        current = name;
+      }
+      if (current != name) {
+        continue;
+      }
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      // Single-writer: plain load-modify-store on relaxed atomics is safe.
+      slot.total.store(slot.total.load(std::memory_order_relaxed) + seconds,
+                       std::memory_order_relaxed);
+      if (seconds < slot.min.load(std::memory_order_relaxed)) {
+        slot.min.store(seconds, std::memory_order_relaxed);
+      }
+      if (seconds > slot.max.load(std::memory_order_relaxed)) {
+        slot.max.store(seconds, std::memory_order_relaxed);
+      }
+      return;
+    }
+    // Aggregate table full: drop the sample (counted with the events).
+    dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void reset() {
+    size.store(0, std::memory_order_release);
+    dropped.store(0, std::memory_order_relaxed);
+    for (Agg& slot : aggs) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.total.store(0.0, std::memory_order_relaxed);
+      slot.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+      slot.max.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint32_t thread_id;
+  std::vector<TraceEvent> ring;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::array<Agg, kAggSlots> aggs;
+};
+
+/// Registry of all thread buffers. Buffers are created once per tracing
+/// thread (mutex held only there) and never destroyed, so thread-exit
+/// ordering cannot invalidate an exporter snapshot mid-read.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_thread_id = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: outlives tracing threads.
+  return *r;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local TraceCapture* tls_capture = nullptr;
+thread_local int tls_depth = 0;
+
+ThreadBuffer* this_thread_buffer() {
+  if (tls_buffer == nullptr) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(
+        std::make_unique<ThreadBuffer>(reg.next_thread_id++,
+                                       buffer_capacity()));
+    tls_buffer = reg.buffers.back().get();
+  }
+  return tls_buffer;
+}
+
+}  // namespace
+
+TraceMode trace_mode() {
+  int mode = g_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    const std::string value =
+        util::env_choice("SFN_TRACE", {"off", "summary", "full"}, "off");
+    mode = value == "full"      ? static_cast<int>(TraceMode::kFull)
+           : value == "summary" ? static_cast<int>(TraceMode::kSummary)
+                                : static_cast<int>(TraceMode::kOff);
+    g_mode.store(mode, std::memory_order_release);
+  }
+  return static_cast<TraceMode>(mode);
+}
+
+void set_trace_mode(TraceMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+std::string to_string(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kSummary: return "summary";
+    case TraceMode::kFull: return "full";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool thread_recording() {
+  return tls_capture != nullptr || trace_mode() != TraceMode::kOff;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(clock::now() - epoch()).count();
+}
+
+int enter_scope() { return tls_depth++; }
+
+void record_scope(const char* name, double begin_s, int depth, bool has_arg,
+                  std::uint64_t arg) {
+  --tls_depth;
+  TraceEvent ev;
+  ev.name = name;
+  ev.begin_s = begin_s;
+  ev.end_s = now_seconds();
+  ev.depth = static_cast<std::uint16_t>(depth < 0 ? 0 : depth);
+  ev.has_arg = has_arg;
+  ev.arg = arg;
+
+  if (tls_capture != nullptr) {
+    ev.thread_id =
+        tls_buffer != nullptr ? tls_buffer->thread_id : 0;
+    tls_capture->events_.push_back(ev);
+  }
+  const TraceMode mode = trace_mode();
+  if (mode == TraceMode::kOff) {
+    return;
+  }
+  ThreadBuffer* tb = this_thread_buffer();
+  ev.thread_id = tb->thread_id;
+  tb->update_aggregate(name, ev.seconds());
+  if (mode == TraceMode::kFull) {
+    tb->push_event(ev);
+  }
+}
+
+}  // namespace detail
+
+TraceCapture::TraceCapture() : prev_(tls_capture) {
+  events_.reserve(256);
+  tls_capture = this;
+}
+
+TraceCapture::~TraceCapture() { tls_capture = prev_; }
+
+std::vector<TraceEvent> snapshot_events() {
+  std::vector<TraceEvent> out;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& tb : reg.buffers) {
+    const std::size_t n = tb->size.load(std::memory_order_acquire);
+    out.insert(out.end(), tb->ring.begin(),
+               tb->ring.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_s < b.begin_s;
+            });
+  return out;
+}
+
+std::vector<ScopeStats> aggregate_scope_stats() {
+  std::vector<ScopeStats> out;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& tb : reg.buffers) {
+    for (const auto& slot : tb->aggs) {
+      const char* name = slot.name.load(std::memory_order_acquire);
+      if (name == nullptr) {
+        continue;
+      }
+      const std::uint64_t count = slot.count.load(std::memory_order_relaxed);
+      if (count == 0) {
+        continue;
+      }
+      auto it = std::find_if(out.begin(), out.end(), [&](const ScopeStats& s) {
+        return s.name == name;
+      });
+      if (it == out.end()) {
+        out.push_back(ScopeStats{name, 0, 0.0,
+                                 std::numeric_limits<double>::infinity(),
+                                 0.0});
+        it = out.end() - 1;
+      }
+      it->count += count;
+      it->total_s += slot.total.load(std::memory_order_relaxed);
+      it->min_s = std::min(it->min_s, slot.min.load(std::memory_order_relaxed));
+      it->max_s = std::max(it->max_s, slot.max.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScopeStats& a, const ScopeStats& b) {
+              return a.total_s > b.total_s;
+            });
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  std::uint64_t total = 0;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& tb : reg.buffers) {
+    total += tb->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_thread_buffers() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& tb : reg.buffers) {
+    tb->reset();
+  }
+}
+
+void set_trace_buffer_capacity(std::size_t events) {
+  g_capacity.store(events < 16 ? 16 : events, std::memory_order_release);
+}
+
+}  // namespace sfn::obs

@@ -1,5 +1,8 @@
 #include "runtime/controller.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -77,6 +80,7 @@ std::optional<Decision> ModelSwitchController::on_step(int step,
   if (!extrapolator_.at_check_point(step)) {
     return std::nullopt;
   }
+  SFN_TRACE_SCOPE("runtime.check");
   const auto predicted_final = extrapolator_.predict_final(total_steps_ - 1);
   if (!predicted_final.has_value()) {
     return std::nullopt;
@@ -84,12 +88,21 @@ std::optional<Decision> ModelSwitchController::on_step(int step,
   last_predicted_quality_ = database_->predict_quality_loss(
       *predicted_final, params_.predictor.knn_k);
 
+  static obs::Counter& checks = obs::counter("runtime.checks");
+  static obs::Counter& switches = obs::counter("runtime.switches");
+  static obs::Counter& restarts = obs::counter("runtime.restarts");
+  static obs::Histogram& qloss = obs::histogram("runtime.predicted_qloss");
+  checks.add();
+  qloss.observe(last_predicted_quality_);
+
   const Decision decision = decide(last_predicted_quality_);
   SwitchEvent event;
   event.step = step;
   event.decision = decision;
   event.predicted_quality = last_predicted_quality_;
   event.from_candidate = current_;
+  event.cum_div_norm = cum_div_norm;
+  event.seconds_offset = clock_.seconds();
 
   switch (decision) {
     case Decision::kKeep:
@@ -97,13 +110,16 @@ std::optional<Decision> ModelSwitchController::on_step(int step,
     case Decision::kSwitchFaster:
       --current_;
       extrapolator_.reset_window();
+      switches.add();
       break;
     case Decision::kSwitchAccurate:
       ++current_;
       extrapolator_.reset_window();
+      switches.add();
       break;
     case Decision::kRestartPcg:
       restart_ = true;
+      restarts.add();
       break;
   }
   event.to_candidate = current_;

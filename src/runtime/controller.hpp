@@ -1,6 +1,7 @@
 #pragma once
 
 #include "runtime/predictor.hpp"
+#include "util/timer.hpp"
 
 #include <optional>
 #include <string>
@@ -48,6 +49,12 @@ struct SwitchEvent {
   double predicted_quality = 0.0;
   std::size_t from_candidate = 0;
   std::size_t to_candidate = 0;
+  /// CumDivNorm observed at the check point that triggered this decision
+  /// (the extrapolator's input, so traces can be replayed offline).
+  double cum_div_norm = 0.0;
+  /// Wall-clock seconds from controller construction to the check, so
+  /// decision traces line up with the chrome-trace timeline.
+  double seconds_offset = 0.0;
 };
 
 /// The quality-aware model-switch state machine. It is substrate-agnostic:
@@ -96,6 +103,7 @@ class ModelSwitchController {
   double last_predicted_quality_ = 0.0;
   CumDivNormExtrapolator extrapolator_;
   std::vector<SwitchEvent> events_;
+  util::Timer clock_;  ///< Started at construction; stamps SwitchEvents.
 };
 
 /// Human-readable decision name.

@@ -1,5 +1,14 @@
 #include "util/config.hpp"
 
+#if __has_include("util/build_info.hpp")
+#include "util/build_info.hpp"
+#else  // Built without the CMake-generated header (e.g. bare tooling).
+#define SFN_BUILD_GIT_SHA "unknown"
+#define SFN_BUILD_TYPE "unknown"
+#define SFN_BUILD_SANITIZE "unknown"
+#define SFN_BUILD_CHECK_NUMERICS "unknown"
+#endif
+
 #include <cstdlib>
 #include <string_view>
 
@@ -79,6 +88,11 @@ BenchConfig BenchConfig::from_args(int argc, char** argv) {
   if (cfg.max_grid < 16) cfg.max_grid = 16;
   if (cfg.time_steps < 8) cfg.time_steps = 8;
   return cfg;
+}
+
+BuildInfo build_info() {
+  return BuildInfo{SFN_BUILD_GIT_SHA, SFN_BUILD_TYPE, SFN_BUILD_SANITIZE,
+                   SFN_BUILD_CHECK_NUMERICS};
 }
 
 }  // namespace sfn::util

@@ -46,4 +46,17 @@ std::string env_choice(const std::string& name,
                        std::initializer_list<std::string_view> allowed,
                        const std::string& fallback);
 
+/// Build provenance captured at CMake configure time (git SHA, build type,
+/// sanitizer preset, numeric-check state). Stamped into every
+/// BENCH_*.json metadata block so artifacts are attributable to a commit
+/// and build configuration; "unknown" fields mean the tree was built
+/// without git or outside CMake.
+struct BuildInfo {
+  std::string git_sha;
+  std::string build_type;
+  std::string sanitize;         ///< "none" or the SFN_SANITIZE list.
+  std::string check_numerics;   ///< "on" | "off".
+};
+BuildInfo build_info();
+
 }  // namespace sfn::util

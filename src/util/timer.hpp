@@ -27,7 +27,16 @@ class Timer {
 /// attribute runtime to individual neural-network models (paper Table 3).
 class AccumulatingTimer {
  public:
-  void start() { timer_.reset(); running_ = true; }
+  /// Begin a new interval. Calling start() while already running banks the
+  /// in-flight interval before restarting (it used to be silently
+  /// discarded, undercounting any caller that restarts without stopping).
+  void start() {
+    if (running_) {
+      total_ += timer_.seconds();
+    }
+    timer_.reset();
+    running_ = true;
+  }
 
   void stop() {
     if (running_) {

@@ -108,6 +108,24 @@ TEST(AccumulatingTimer, SumsIntervals) {
   EXPECT_DOUBLE_EQ(t.total_seconds(), 2.0);
 }
 
+TEST(AccumulatingTimer, RestartBanksInFlightInterval) {
+  // Regression: start() while running used to silently discard the
+  // in-flight interval; it must accumulate it before restarting.
+  util::AccumulatingTimer t;
+  t.start();
+  volatile double x = 0.0;
+  for (int i = 0; i < 200000; ++i) x += i;
+  t.start();  // Restart without stop(): the first interval must be banked.
+  const double banked = t.total_seconds();
+  EXPECT_GT(banked, 0.0);
+  t.stop();
+  EXPECT_GE(t.total_seconds(), banked);
+  // stop() after stop() is a no-op, and the banked time persists.
+  const double after_stop = t.total_seconds();
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.total_seconds(), after_stop);
+}
+
 TEST(Table, RendersAlignedAndCsv) {
   util::Table table({"Method", "Time"});
   table.add_row({"PCG", "2.34e+08"});

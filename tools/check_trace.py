@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a chrome-tracing JSON file produced by obs::write_chrome_trace.
+
+Checks the structural schema the exporter promises (CI runs this against a
+small adaptive session traced with SFN_TRACE=full):
+
+  - the file parses as a JSON array of event objects;
+  - every event is a complete event ("ph": "X") with the required fields
+    (name, ts, dur, pid, tid) of the right types, ts/dur non-negative;
+  - args.depth is a non-negative integer and, when present, args.id is a
+    non-negative integer;
+  - events on one thread nest properly: an event at depth d+1 lies within
+    the time span of an enclosing event at depth d (tolerance one
+    microsecond, the exporter's output resolution);
+  - every scope named by --expect occurs at least once.
+
+Exit status: 0 when the trace is valid, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ERRORS: list[str] = []
+
+
+def err(message: str) -> None:
+    ERRORS.append(message)
+
+
+def check_event(i: int, ev: object) -> dict | None:
+    if not isinstance(ev, dict):
+        err(f"event {i}: not a JSON object")
+        return None
+    for field, kinds in (("name", (str,)), ("ph", (str,)),
+                         ("ts", (int, float)), ("dur", (int, float)),
+                         ("pid", (int,)), ("tid", (int,))):
+        if field not in ev:
+            err(f"event {i}: missing field '{field}'")
+            return None
+        if not isinstance(ev[field], kinds):
+            err(f"event {i}: field '{field}' has type "
+                f"{type(ev[field]).__name__}")
+            return None
+    if ev["ph"] != "X":
+        err(f"event {i}: ph is '{ev['ph']}', exporter only emits "
+            "complete events ('X')")
+        return None
+    if ev["ts"] < 0 or ev["dur"] < 0:
+        err(f"event {i} ('{ev['name']}'): negative ts/dur")
+        return None
+    args = ev.get("args", {})
+    if not isinstance(args, dict):
+        err(f"event {i} ('{ev['name']}'): args is not an object")
+        return None
+    depth = args.get("depth")
+    if not isinstance(depth, int) or depth < 0:
+        err(f"event {i} ('{ev['name']}'): args.depth missing or invalid")
+        return None
+    if "id" in args and (not isinstance(args["id"], int) or args["id"] < 0):
+        err(f"event {i} ('{ev['name']}'): args.id invalid")
+        return None
+    return ev
+
+
+def check_nesting(events: list[dict], tolerance_us: float = 1.0) -> None:
+    """Events on a thread must form a proper scope tree: each depth-d+1
+    event lies inside some depth-d event's [ts, ts+dur] span."""
+    by_tid: dict[int, list[dict]] = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, evs in by_tid.items():
+        for ev in evs:
+            depth = ev["args"]["depth"]
+            if depth == 0:
+                continue
+            enclosed = any(
+                parent["args"]["depth"] == depth - 1
+                and parent["ts"] - tolerance_us <= ev["ts"]
+                and ev["ts"] + ev["dur"]
+                <= parent["ts"] + parent["dur"] + tolerance_us
+                for parent in evs)
+            if not enclosed:
+                err(f"tid {tid}: event '{ev['name']}' at depth {depth} "
+                    "has no enclosing parent scope")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=pathlib.Path,
+                        help="chrome-trace JSON file (SFN_TRACE_FILE)")
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="SCOPE",
+                        help="require at least one event with this name "
+                             "(repeatable)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        raw = json.loads(args.trace.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: cannot load {args.trace}: {exc}")
+        return 1
+    if not isinstance(raw, list):
+        print("check_trace: top level is not a JSON array")
+        return 1
+
+    events = [ev for i, e in enumerate(raw)
+              if (ev := check_event(i, e)) is not None]
+    if len(events) < args.min_events:
+        err(f"only {len(events)} valid event(s), expected at least "
+            f"{args.min_events}")
+    check_nesting(events)
+
+    names = {ev["name"] for ev in events}
+    for scope in args.expect:
+        if scope not in names:
+            err(f"expected scope '{scope}' never occurs "
+                f"(saw: {', '.join(sorted(names)) or 'none'})")
+
+    if ERRORS:
+        print(f"check_trace: {args.trace}: {len(ERRORS)} problem(s):")
+        for e in ERRORS:
+            print(f"  {e}")
+        return 1
+    print(f"check_trace: {args.trace}: {len(events)} events, "
+          f"{len(names)} scope names — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,10 +19,17 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         crash from exactly this).
   R4 bench-json         Every bench/bench_*.cpp writes a machine-readable
                         BENCH_*.json artifact next to its stdout tables.
+  R5 raw-stdout         Library code under src/ must not print to
+                        stdout/stderr (std::cout/std::cerr/printf family):
+                        diagnostics go through the obs metrics/trace layer
+                        or are returned to the caller. util::Table::print
+                        (src/util/table.cpp) is the one sanctioned console
+                        sink; bench/, examples/ and tests/ are exempt.
 
 Escape hatches are deliberate annotations, not config: append
-`// sfn-lint: allow-alloc` (R1) or `// sfn-lint: safe-cast` (R3) to the
-offending line, with a reason, and the rule skips it.
+`// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3) or
+`// sfn-lint: allow-print` (R5) to the offending line, with a reason, and
+the rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -185,6 +192,34 @@ def rule_bench_json(root: pathlib.Path) -> None:
 
 
 # --------------------------------------------------------------------------
+# R5: no raw stdout/stderr writes in library code under src/.
+
+# std::cout / std::cerr streams, and the printf family called as a free
+# function (printf/fprintf/vprintf/vfprintf, optionally std::-qualified).
+# snprintf/vsnprintf format into buffers, not the console, and stay legal.
+RAW_STDOUT_RE = re.compile(
+    r"std::cout\b|std::cerr\b|(?<![\w:])(?:std::)?v?f?printf\s*\(")
+
+
+def rule_raw_stdout(root: pathlib.Path) -> None:
+    allowed = root / "src" / "util" / "table.cpp"
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        if path == allowed:
+            continue
+        for line_no, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if "sfn-lint: allow-print" in raw:
+                continue
+            if RAW_STDOUT_RE.search(strip_line_comment(raw)):
+                report(
+                    "raw-stdout", path.relative_to(root), line_no,
+                    "raw console write in library code; record through "
+                    "obs metrics/tracing or return data to the caller "
+                    "(or annotate `// sfn-lint: allow-print` with a "
+                    "reason)")
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
@@ -226,6 +261,7 @@ def main() -> int:
     rule_raw_getenv(root)
     rule_unguarded_cast(root)
     rule_bench_json(root)
+    rule_raw_stdout(root)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
     else:

@@ -99,6 +99,9 @@ int main(int argc, char** argv) {
                        util::fmt(ev.seconds_offset, 4)});
   }
   decisions.print("\nController check points (first problem, adaptive run):");
+  std::printf("guard fallbacks in adaptive run: %d step(s) re-solved "
+              "exactly (%.4f s)\n",
+              adaptive.fallback_steps, adaptive.fallback_seconds);
 
   bench::write_json("BENCH_fig6_cumdivnorm.json", ctx.cfg,
                     {{"trace", &trace},

@@ -75,15 +75,21 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
   const int nx = flags.nx();
   const int ny = flags.ny();
   const auto scale = static_cast<float>(1.0 / inv_scale);
+  int non_finite = 0;
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       // Sanitise: a surrogate must never inject non-finite values into
       // the simulation (downstream advection assumes finite velocities).
       const float v = output.at(0, j, i) * scale;
-      (*pressure)(i, j) =
-          (flags.is_fluid(i, j) && std::isfinite(v)) ? v : 0.0f;
+      const bool fluid = flags.is_fluid(i, j);
+      const bool finite = std::isfinite(v);
+      (*pressure)(i, j) = (fluid && finite) ? v : 0.0f;
+      if (fluid && !finite) {
+        ++non_finite;
+      }
     }
   }
+  stats.non_finite = non_finite;
 
   // The sanitising loop above is the repo's NaN firewall (DESIGN.md §6):
   // whatever the surrogate produced, the pressure handed to the simulator

@@ -2,6 +2,7 @@
 
 #include "core/neural_projection.hpp"
 #include "fluid/pcg.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
@@ -23,35 +24,50 @@ constexpr const char* kAdaptiveScope = "session.adaptive";
 constexpr const char* kFixedScope = "session.fixed";
 constexpr const char* kStepScope = "session.step";
 constexpr const char* kRestartScope = "session.restart_pcg";
+/// Opened by runtime::FallbackPolicy around each guard-triggered PCG
+/// re-solve; nests inside the owning kStepScope, so fallback time both
+/// stays inside the per-model attribution and is separately summable.
+constexpr const char* kFallbackScope = "runtime.fallback";
 
 /// Fill `result` timing fields from the captured stream: total seconds from
 /// the root scope, per-model attribution and the model-per-step trace from
-/// the "session.step" events (whose arg is the library model id).
+/// the "session.step" events (whose arg is the library model id), fallback
+/// overhead from the guard's re-solve scopes. All derived fields are reset
+/// first, so a reused result (or a run whose root scope never closed)
+/// cannot leak stale timing. `steps` is the problem length: a PCG restart
+/// replays every step, so the step trace is trimmed to the trailing
+/// `steps` events — the ones that produced the final state.
 void derive_timing(const std::vector<obs::TraceEvent>& events,
-                   std::string_view root_name, SessionResult* result) {
+                   std::string_view root_name, int steps,
+                   SessionResult* result) {
+  result->seconds = 0.0;
+  result->seconds_per_model.clear();
   result->model_per_step.clear();
+  result->fallback_seconds = 0.0;
   for (const auto& ev : events) {
     const std::string_view name = ev.name;
     if (name == kStepScope && ev.has_arg) {
       const auto model_id = static_cast<std::size_t>(ev.arg);
       result->seconds_per_model[model_id] += ev.seconds();
       result->model_per_step.push_back(model_id);
+    } else if (name == kFallbackScope) {
+      result->fallback_seconds += ev.seconds();
     } else if (name == root_name) {
       result->seconds = ev.seconds();
     }
+  }
+  const auto count = static_cast<std::size_t>(std::max(steps, 0));
+  if (result->model_per_step.size() > count) {
+    result->model_per_step.erase(
+        result->model_per_step.begin(),
+        result->model_per_step.end() - static_cast<std::ptrdiff_t>(count));
   }
 }
 
 }  // namespace
 
-SessionResult run_adaptive(const workload::InputProblem& problem,
-                           const OfflineArtifacts& artifacts,
-                           const SessionConfig& config) {
-  if (artifacts.selected_ids.empty()) {
-    throw std::invalid_argument("run_adaptive: no selected models");
-  }
-  SessionResult result;
-
+std::vector<runtime::RuntimeCandidate> make_runtime_candidates(
+    const OfflineArtifacts& artifacts) {
   // Candidates ordered least-accurate -> most-accurate: that is the axis
   // Algorithm 2 walks ("faster" one way, "more accurate" the other).
   std::vector<std::size_t> order = artifacts.selected_ids;
@@ -61,67 +77,133 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
   });
 
   std::vector<runtime::RuntimeCandidate> candidates;
-  std::vector<std::unique_ptr<NeuralProjection>> solvers;
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    const auto& model = artifacts.library[order[pos]];
+  candidates.reserve(order.size());
+  for (const std::size_t id : order) {
+    const auto& model = artifacts.library[id];
     runtime::RuntimeCandidate c;
-    c.model_id = order[pos];
+    c.model_id = id;
     c.mean_seconds = model.mean_seconds;
     c.mean_quality = model.mean_quality;
     // Probability from the offline scoring (scores are indexed against the
-    // Pareto set; find this model's entry).
-    c.probability = 0.5;
+    // Pareto set; find this model's entry). A selected model without a
+    // score means the artifact set is inconsistent with the offline phase
+    // that produced it — fall back to an uninformative 0.5, but surface
+    // the event through the metrics registry instead of hiding it.
+    bool scored = false;
     for (std::size_t s = 0; s < artifacts.scores.size(); ++s) {
-      if (artifacts.pareto_ids[s] == order[pos]) {
+      if (artifacts.pareto_ids[s] == id) {
         c.probability = artifacts.scores[s].success_probability;
+        scored = true;
         break;
       }
     }
+    if (!scored) {
+      c.probability = 0.5;
+      static obs::Counter& missing = obs::counter("runtime.missing_score");
+      missing.add();
+    }
     candidates.push_back(c);
-    solvers.push_back(
-        std::make_unique<NeuralProjection>(model.net, model.spec.name));
+  }
+  return candidates;
+}
+
+SessionResult run_adaptive(const workload::InputProblem& problem,
+                           const OfflineArtifacts& artifacts,
+                           const SessionConfig& config) {
+  if (artifacts.selected_ids.empty()) {
+    throw std::invalid_argument("run_adaptive: no selected models");
+  }
+  SessionResult result;
+
+  const auto candidates = make_runtime_candidates(artifacts);
+  std::vector<std::unique_ptr<fluid::PoissonSolver>> solvers;
+  solvers.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    const auto& model = artifacts.library[c.model_id];
+    std::unique_ptr<fluid::PoissonSolver> solver =
+        std::make_unique<NeuralProjection>(model.net, model.spec.name);
+    if (config.solver_decorator) {
+      solver = config.solver_decorator(c.model_id, std::move(solver));
+    }
+    solvers.push_back(std::move(solver));
   }
 
   const double quality_requirement = config.quality_requirement.value_or(
       artifacts.requirement.quality_loss);
-  runtime::ModelSwitchController controller(config.controller, candidates,
+  runtime::ControllerParams controller_params = config.controller;
+  controller_params.quarantine_trips = config.guard.quarantine_trips;
+  controller_params.quarantine_window = config.guard.quarantine_window;
+  runtime::ModelSwitchController controller(controller_params, candidates,
                                             &artifacts.quality_db,
                                             quality_requirement,
                                             problem.steps);
+
+  // The per-step health guard: rejected solves are re-solved in place by
+  // this policy's warm-started PCG, and repeat offenders are reported to
+  // the controller for quarantine. Owns the only exact solver the
+  // adaptive loop is allowed to touch.
+  runtime::FallbackPolicy fallback(config.guard);
 
   obs::TraceCapture capture;
   {
     obs::TraceScope session_scope(kAdaptiveScope);
     fluid::SmokeSim sim = workload::make_sim(problem);
     for (int step = 0; step < problem.steps; ++step) {
+      if (controller.exhausted()) {
+        // Every candidate quarantined: degrade the remaining steps to the
+        // exact solver. Prior steps are all valid (each guard trip was
+        // re-solved exactly), so nothing is replayed.
+        obs::TraceScope step_scope(kStepScope, SessionResult::kPcgModelId);
+        sim.step(fallback.exact_solver());
+        continue;
+      }
       const std::size_t pos = controller.current_candidate();
       fluid::StepTelemetry telemetry;
       {
         obs::TraceScope step_scope(kStepScope, candidates[pos].model_id);
-        telemetry = sim.step(solvers[pos].get());
+        telemetry = sim.step(solvers[pos].get(),
+                             config.guard.enabled ? &fallback : nullptr);
+      }
+      if (telemetry.guard.fallback) {
+        ++result.fallback_steps;
+        // This step's pressure is now exact; report the trip so the
+        // controller can quarantine a persistently failing candidate.
+        controller.on_guard_trip(step, telemetry.cum_div_norm);
       }
       const auto decision = controller.on_step(step, telemetry.cum_div_norm);
-      if (decision == runtime::Decision::kRestartPcg) {
+      if (decision == runtime::Decision::kRestartPcg &&
+          controller.restart_requested()) {
         break;
       }
     }
     result.events = controller.events();
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+      if (controller.is_quarantined(pos)) {
+        result.quarantined_models.push_back(candidates[pos].model_id);
+      }
+    }
 
     if (controller.restart_requested()) {
       // Algorithm 2 line 16: no model can meet q — redo the whole problem
       // with the exact solver. The aborted neural time stays in the bill,
-      // which is exactly the risk Eq. 8's selection prices in.
+      // which is exactly the risk Eq. 8's selection prices in. Each redo
+      // step runs under its own kStepScope so derive_timing attributes
+      // the exact-solver time like any other model's.
       result.restarted_with_pcg = true;
       obs::TraceScope restart_scope(kRestartScope);
       fluid::PcgSolver pcg;
-      const auto run = workload::run_simulation(problem, &pcg);
-      result.final_density = run.final_density;
+      fluid::SmokeSim redo = workload::make_sim(problem);
+      for (int step = 0; step < problem.steps; ++step) {
+        obs::TraceScope step_scope(kStepScope, SessionResult::kPcgModelId);
+        redo.step(&pcg);
+      }
+      result.final_density = redo.density();
     } else {
       result.final_density = sim.density();
     }
   }
 
-  derive_timing(capture.events(), kAdaptiveScope, &result);
+  derive_timing(capture.events(), kAdaptiveScope, problem.steps, &result);
   return result;
 }
 
@@ -142,7 +224,7 @@ SessionResult run_fixed(const workload::InputProblem& problem,
     result.final_density = sim.density();
   }
 
-  derive_timing(capture.events(), kFixedScope, &result);
+  derive_timing(capture.events(), kFixedScope, problem.steps, &result);
   return result;
 }
 

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "fluid/poisson.hpp"
+
+namespace sfn::fluid {
+
+/// What a step guard observed (and possibly did) about one pressure solve.
+/// Returned through StepTelemetry so callers can meter fallbacks.
+struct GuardOutcome {
+  bool checked = false;         ///< Guard ran on this step.
+  bool fallback = false;        ///< Solve rejected and re-done exactly.
+  /// Post-solve residual max-norm relative to the rhs max-norm: ~0 for an
+  /// exact solver, 1 for the trivial p = 0 guess, larger when the solve
+  /// actively injected divergence.
+  double relative_residual = 0.0;
+  SolveStats fallback_solve;    ///< Stats of the re-solve (when fallback).
+};
+
+/// Hook invoked by SmokeSim::step between the pressure solve and the
+/// velocity update. Implementations inspect the solution (cheaply) and may
+/// overwrite `pressure` with a re-solved field — the simulation then
+/// proceeds with whatever the guard left in place, so a bad surrogate step
+/// degrades to an exact step instead of poisoning the rollout.
+///
+/// Declared in the fluid layer so SmokeSim stays runtime-agnostic; the
+/// production implementation (runtime::FallbackPolicy) lives with the
+/// model-switch controller.
+class StepGuard {
+ public:
+  virtual ~StepGuard() = default;
+
+  /// Inspect `pressure` as the solution of A p = rhs produced by a solver
+  /// whose stats are `solve`. May re-solve in place.
+  virtual GuardOutcome inspect(const FlagGrid& flags, const GridF& rhs,
+                               GridF* pressure, const SolveStats& solve) = 0;
+};
+
+}  // namespace sfn::fluid

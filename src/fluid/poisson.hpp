@@ -16,6 +16,11 @@ struct SolveStats {
   bool converged = false;
   std::uint64_t flops = 0;    ///< Estimated floating-point operations.
   double seconds = 0.0;       ///< Wall-clock time of the solve.
+  /// Cells the solver had to sanitise because it produced a non-finite
+  /// value (the NaN firewall in NeuralProjection::solve). Non-zero means
+  /// the solve is untrustworthy even though the returned field is finite;
+  /// the runtime health guard treats it as an unconditional trip.
+  int non_finite = 0;
 };
 
 /// Interface for anything that can produce a pressure field from the

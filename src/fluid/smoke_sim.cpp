@@ -104,7 +104,7 @@ void SmokeSim::add_vorticity_confinement() {
   }
 }
 
-StepTelemetry SmokeSim::step(PoissonSolver* solver) {
+StepTelemetry SmokeSim::step(PoissonSolver* solver, StepGuard* guard) {
   SFN_TRACE_SCOPE("sim.step");
   const util::Timer timer;
   StepTelemetry out;
@@ -160,6 +160,12 @@ StepTelemetry SmokeSim::step(PoissonSolver* solver) {
       pressure_.fill(0.0f);  // Algorithm 1 line 9: initial guess p = 0.
     }
     out.solve = solver->solve(flags_, rhs_, &pressure_);
+    if (guard != nullptr) {
+      // Health guard: inspect (and possibly re-solve) the pressure before
+      // it touches the velocity field, so one bad solve degrades to one
+      // exact solve instead of contaminating the rollout.
+      out.guard = guard->inspect(flags_, rhs_, &pressure_, out.solve);
+    }
     subtract_pressure_gradient(pressure_, flags_, &vel_);
     vel_.enforce_solid_boundaries(flags_);
 

@@ -3,6 +3,7 @@
 #include "fluid/advection.hpp"
 #include "fluid/flags.hpp"
 #include "fluid/grid2.hpp"
+#include "fluid/guard.hpp"
 #include "fluid/mac_grid.hpp"
 #include "fluid/poisson.hpp"
 
@@ -47,6 +48,7 @@ struct StepTelemetry {
   double div_norm = 0.0;       ///< Post-projection DivNorm (Eq. 5).
   double cum_div_norm = 0.0;   ///< Running sum of div_norm (Eq. 9).
   SolveStats solve;            ///< Pressure-solve outcome this step.
+  GuardOutcome guard;          ///< Health-guard verdict (when guarded).
   double step_seconds = 0.0;   ///< Wall time of the full step.
 };
 
@@ -58,7 +60,10 @@ class SmokeSim {
   SmokeSim(SmokeParams params, FlagGrid flags);
 
   /// Advance one time step using `solver` for the pressure projection.
-  StepTelemetry step(PoissonSolver* solver);
+  /// An optional `guard` is consulted between the solve and the velocity
+  /// update; it may re-solve a rejected step in place (per-step graceful
+  /// degradation — see fluid/guard.hpp and runtime::FallbackPolicy).
+  StepTelemetry step(PoissonSolver* solver, StepGuard* guard = nullptr);
 
   [[nodiscard]] int nx() const { return flags_.nx(); }
   [[nodiscard]] int ny() const { return flags_.ny(); }

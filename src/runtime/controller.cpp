@@ -14,6 +14,7 @@ std::string to_string(Decision d) {
     case Decision::kSwitchFaster: return "switch-faster";
     case Decision::kSwitchAccurate: return "switch-accurate";
     case Decision::kRestartPcg: return "restart-pcg";
+    case Decision::kQuarantine: return "quarantine";
   }
   return "?";
 }
@@ -26,6 +27,8 @@ ModelSwitchController::ModelSwitchController(
       database_(database),
       q_(q),
       total_steps_(total_steps),
+      quarantined_(candidates_.size(), false),
+      trip_steps_(candidates_.size()),
       extrapolator_(params.predictor) {
   if (candidates_.empty()) {
     throw std::invalid_argument("ModelSwitchController: no candidates");
@@ -44,36 +47,79 @@ ModelSwitchController::ModelSwitchController(
                        })));
 }
 
-Decision ModelSwitchController::decide(double predicted_quality) const {
-  // "Close to q": within the keep band just below the requirement —
-  // neither quality headroom worth spending nor a violation.
-  if (predicted_quality <= q_ &&
-      predicted_quality >= q_ * (1.0 - params_.keep_band)) {
-    return Decision::kKeep;
+std::optional<std::size_t> ModelSwitchController::next_accurate() const {
+  for (std::size_t pos = current_ + 1; pos < candidates_.size(); ++pos) {
+    if (!quarantined_[pos]) {
+      return pos;
+    }
   }
-  if (predicted_quality < q_) {
+  return std::nullopt;
+}
+
+std::optional<std::size_t> ModelSwitchController::next_faster() const {
+  for (std::size_t pos = current_; pos-- > 0;) {
+    if (!quarantined_[pos]) {
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t ModelSwitchController::quarantined_count() const {
+  return static_cast<std::size_t>(
+      std::count(quarantined_.begin(), quarantined_.end(), true));
+}
+
+Decision ModelSwitchController::preview_decision(
+    double predicted_quality) const {
+  // Hysteresis dead-band: the keep zone is widened past both band edges
+  // by dead_band * q, so a prediction must *clearly* leave the band
+  // before the controller acts on it.
+  const double upshift_above = q_ * (1.0 + params_.switch_dead_band);
+  const double downshift_below =
+      q_ * (1.0 - params_.keep_band - params_.switch_dead_band);
+
+  if (predicted_quality > upshift_above) {
+    // Predicted violation: escalate accuracy if a survivor exists.
+    if (next_accurate().has_value()) {
+      return Decision::kSwitchAccurate;
+    }
+    // Already on the most accurate available model: restart only on a
+    // clear violation; marginal predictions ride out the best we have.
+    return predicted_quality > q_ * params_.restart_margin
+               ? Decision::kRestartPcg
+               : Decision::kKeep;
+  }
+  if (predicted_quality < downshift_below) {
     // Comfortably under budget: trade accuracy for speed — but only into
-    // a model whose offline mean quality itself meets the requirement,
-    // so a noisy prediction cannot downshift the run into a model that
-    // violates q on the average problem.
-    const bool can_downshift =
-        current_ > 0 && candidates_[current_ - 1].mean_quality <= q_;
-    return can_downshift ? Decision::kSwitchFaster : Decision::kKeep;
+    // a surviving model whose offline mean quality itself meets the
+    // requirement, so a noisy prediction cannot downshift the run into a
+    // model that violates q on the average problem.
+    const auto down = next_faster();
+    if (down.has_value() && candidates_[*down].mean_quality <= q_) {
+      return Decision::kSwitchFaster;
+    }
   }
-  // Predicted violation: escalate accuracy if possible.
-  if (current_ + 1 < candidates_.size()) {
-    return Decision::kSwitchAccurate;
-  }
-  // Already on the most accurate model: restart only on a clear
-  // violation; marginal predictions ride out the best model we have.
-  return predicted_quality > q_ * params_.restart_margin
-             ? Decision::kRestartPcg
-             : Decision::kKeep;
+  return Decision::kKeep;
+}
+
+void ModelSwitchController::push_event(int step, Decision decision,
+                                       std::size_t from, std::size_t to,
+                                       double cum_div_norm) {
+  SwitchEvent event;
+  event.step = step;
+  event.decision = decision;
+  event.predicted_quality = last_predicted_quality_;
+  event.from_candidate = from;
+  event.to_candidate = to;
+  event.cum_div_norm = cum_div_norm;
+  event.seconds_offset = clock_.seconds();
+  events_.push_back(event);
 }
 
 std::optional<Decision> ModelSwitchController::on_step(int step,
                                                        double cum_div_norm) {
-  if (restart_) {
+  if (restart_ || exhausted_) {
     return std::nullopt;
   }
   extrapolator_.observe(step, cum_div_norm);
@@ -95,36 +141,99 @@ std::optional<Decision> ModelSwitchController::on_step(int step,
   checks.add();
   qloss.observe(last_predicted_quality_);
 
-  const Decision decision = decide(last_predicted_quality_);
-  SwitchEvent event;
-  event.step = step;
-  event.decision = decision;
-  event.predicted_quality = last_predicted_quality_;
-  event.from_candidate = current_;
-  event.cum_div_norm = cum_div_norm;
-  event.seconds_offset = clock_.seconds();
+  // Hysteresis cooldown: for a full check interval after any switch, a
+  // switch that *reverses* direction is held as keep — an up-down-up
+  // oscillation now needs a cooldown expiry between every reversal, so
+  // noisy extrapolations cannot thrash the ladder. Same-direction moves
+  // (the Algorithm 2 escalation chain up to and including the restart)
+  // stay immediate: delaying a predicted quality violation would trade
+  // correctness for calm.
+  Decision decision = preview_decision(last_predicted_quality_);
+  if (cooldown_checks_left_ > 0) {
+    --cooldown_checks_left_;
+    const int direction = decision == Decision::kSwitchFaster ? -1
+                          : (decision == Decision::kSwitchAccurate ||
+                             decision == Decision::kRestartPcg)
+                              ? +1
+                              : 0;
+    if (direction != 0 && direction != last_direction_) {
+      decision = Decision::kKeep;
+    }
+  }
+  const std::size_t from = current_;
 
   switch (decision) {
     case Decision::kKeep:
       break;
     case Decision::kSwitchFaster:
-      --current_;
+      current_ = *next_faster();
       extrapolator_.reset_window();
+      cooldown_checks_left_ = params_.switch_cooldown_checks;
+      last_direction_ = -1;
       switches.add();
       break;
     case Decision::kSwitchAccurate:
-      ++current_;
+      current_ = *next_accurate();
       extrapolator_.reset_window();
+      cooldown_checks_left_ = params_.switch_cooldown_checks;
+      last_direction_ = +1;
       switches.add();
       break;
     case Decision::kRestartPcg:
       restart_ = true;
       restarts.add();
       break;
+    case Decision::kQuarantine:
+      break;  // Never produced by preview_decision.
   }
-  event.to_candidate = current_;
-  events_.push_back(event);
+  push_event(step, decision, from, current_, cum_div_norm);
   return decision;
+}
+
+GuardVerdict ModelSwitchController::on_guard_trip(int step,
+                                                  double cum_div_norm) {
+  if (restart_ || exhausted_) {
+    return GuardVerdict::kExhausted;
+  }
+  auto& trips = trip_steps_[current_];
+  trips.push_back(step);
+  // Keep only trips inside the sliding window ending at `step`.
+  const int window_start = step - params_.quarantine_window + 1;
+  trips.erase(std::remove_if(trips.begin(), trips.end(),
+                             [&](int s) { return s < window_start; }),
+              trips.end());
+  if (static_cast<int>(trips.size()) < params_.quarantine_trips) {
+    return GuardVerdict::kTripRecorded;
+  }
+
+  // Quarantine: this candidate's guard keeps tripping — its offline
+  // statistics no longer describe its behaviour on this problem, so it is
+  // out for the rest of the run and the controller re-plans over the
+  // survivors. Prefer escalating accuracy (the trips mean the current
+  // rung is too aggressive here); fall back to the fastest survivor.
+  static obs::Counter& quarantines = obs::counter("runtime.quarantines");
+  quarantines.add();
+  quarantined_[current_] = true;
+  const std::size_t from = current_;
+
+  const auto up = next_accurate();
+  const auto down = next_faster();
+  if (up.has_value() || down.has_value()) {
+    current_ = up.has_value() ? *up : *down;
+    extrapolator_.reset_window();
+    cooldown_checks_left_ = params_.switch_cooldown_checks;
+    last_direction_ = up.has_value() ? +1 : -1;
+    push_event(step, Decision::kQuarantine, from, current_, cum_div_norm);
+    return GuardVerdict::kQuarantined;
+  }
+
+  // Every candidate is quarantined: the exact solver is the true last
+  // resort. Completed steps are all valid (each guard trip was re-solved
+  // exactly), so this is *not* a whole-run restart — restart_requested()
+  // stays false and the session finishes the remaining steps on PCG.
+  exhausted_ = true;
+  push_event(step, Decision::kRestartPcg, from, from, cum_div_norm);
+  return GuardVerdict::kExhausted;
 }
 
 }  // namespace sfn::runtime

@@ -19,12 +19,14 @@ struct RuntimeCandidate {
   double mean_quality = 0.0;    ///< Offline mean quality loss.
 };
 
-/// Decision taken at a check point (paper Algorithm 2, lines 9-17).
+/// Decision taken at a check point (paper Algorithm 2, lines 9-17), plus
+/// the guard-driven quarantine transitions layered on top.
 enum class Decision {
   kKeep,            ///< Q'loss close to q: stay on the current model.
   kSwitchFaster,    ///< Q'loss comfortably below q: drop accuracy for speed.
   kSwitchAccurate,  ///< Q'loss above q: pay for accuracy.
   kRestartPcg,      ///< No model can meet q: redo with the exact solver.
+  kQuarantine,      ///< Health guard disabled a candidate; re-planned.
 };
 
 struct ControllerParams {
@@ -39,6 +41,25 @@ struct ControllerParams {
   /// neural progress and should be reserved for clear violations, since
   /// the KNN prediction itself carries error).
   double restart_margin = 1.5;
+  /// Hysteresis, part 1 — cooldown: for this many check points after any
+  /// switch (including a quarantine re-plan), a switch that *reverses*
+  /// direction is held as keep, so an oscillation needs a full interval
+  /// between every reversal. Same-direction moves (the Algorithm 2
+  /// escalation chain up to the restart) are never delayed: reacting
+  /// slowly to a predicted quality violation would be a correctness bug,
+  /// not a stability feature.
+  int switch_cooldown_checks = 1;
+  /// Hysteresis, part 2 — dead-band: leave the keep zone only when the
+  /// prediction clears the band edge by this fraction of q (upshift above
+  /// q * (1 + dead_band), downshift below q * (1 - keep_band -
+  /// dead_band)). Keeps a noisy extrapolation that jitters across an edge
+  /// from thrashing the model ladder.
+  double switch_dead_band = 0.1;
+  /// Quarantine: a candidate whose health guard trips this many times...
+  int quarantine_trips = 3;
+  /// ...within this many simulation steps is disabled for the rest of the
+  /// run; the controller re-plans over the survivors.
+  int quarantine_window = 20;
 };
 
 /// Event log entry for analysis (Table 3's time distribution and the
@@ -55,6 +76,14 @@ struct SwitchEvent {
   /// Wall-clock seconds from controller construction to the check, so
   /// decision traces line up with the chrome-trace timeline.
   double seconds_offset = 0.0;
+};
+
+/// Outcome of reporting a guard trip to the controller.
+enum class GuardVerdict {
+  kTripRecorded,  ///< Below the quarantine threshold; nothing changed.
+  kQuarantined,   ///< Candidate disabled; current_candidate() re-planned.
+  kExhausted,     ///< Every candidate quarantined: degrade to the exact
+                  ///< solver for the remaining steps (true last resort).
 };
 
 /// The quality-aware model-switch state machine. It is substrate-agnostic:
@@ -78,11 +107,30 @@ class ModelSwitchController {
 
   /// Record one completed step; at check points this evaluates the
   /// predictor and possibly switches. Returns the decision when a check
-  /// happened, nullopt otherwise. After kRestartPcg the controller is
-  /// inert (the session is expected to fall back to PCG).
+  /// happened, nullopt otherwise. After kRestartPcg (or exhaustion) the
+  /// controller is inert.
   std::optional<Decision> on_step(int step, double cum_div_norm);
 
+  /// Report that the health guard tripped (and fell back to PCG) on the
+  /// current candidate at `step`. Enough trips inside the quarantine
+  /// window disable the candidate: the controller re-plans onto the most
+  /// trustworthy survivor (logged as a kQuarantine event) or, when none
+  /// remain, declares exhaustion (logged as the kRestartPcg last resort;
+  /// restart_requested() stays false — completed steps are all valid, so
+  /// the session degrades the *remaining* steps instead of redoing).
+  GuardVerdict on_guard_trip(int step, double cum_div_norm);
+
+  /// Dry-run of the switch logic for a given predicted quality loss —
+  /// exactly what a check point would decide in the current state, with
+  /// no state change. Test/analysis seam for boundary behaviour.
+  [[nodiscard]] Decision preview_decision(double predicted_quality) const;
+
   [[nodiscard]] bool restart_requested() const { return restart_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] bool is_quarantined(std::size_t pos) const {
+    return quarantined_[pos];
+  }
+  [[nodiscard]] std::size_t quarantined_count() const;
   [[nodiscard]] const std::vector<SwitchEvent>& events() const {
     return events_;
   }
@@ -91,7 +139,12 @@ class ModelSwitchController {
   }
 
  private:
-  Decision decide(double predicted_quality) const;
+  /// Nearest non-quarantined candidate strictly above/below `current_`
+  /// on the accuracy ladder; nullopt when none remains.
+  [[nodiscard]] std::optional<std::size_t> next_accurate() const;
+  [[nodiscard]] std::optional<std::size_t> next_faster() const;
+  void push_event(int step, Decision decision, std::size_t from,
+                  std::size_t to, double cum_div_norm);
 
   ControllerParams params_;
   std::vector<RuntimeCandidate> candidates_;
@@ -100,7 +153,12 @@ class ModelSwitchController {
   int total_steps_;
   std::size_t current_ = 0;
   bool restart_ = false;
+  bool exhausted_ = false;
+  int cooldown_checks_left_ = 0;
+  int last_direction_ = 0;  ///< -1 faster, +1 accurate; gates reversals.
   double last_predicted_quality_ = 0.0;
+  std::vector<bool> quarantined_;
+  std::vector<std::vector<int>> trip_steps_;  ///< Per-candidate trip log.
   CumDivNormExtrapolator extrapolator_;
   std::vector<SwitchEvent> events_;
   util::Timer clock_;  ///< Started at construction; stamps SwitchEvents.

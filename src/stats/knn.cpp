@@ -7,21 +7,13 @@
 namespace sfn::stats {
 
 void Knn1D::insert(double key, double value) {
-  data_.emplace_back(key, value);
-  sorted_ = false;
+  const std::pair<double, double> pair(key, value);
+  data_.insert(std::upper_bound(data_.begin(), data_.end(), pair), pair);
 }
 
 void Knn1D::build(std::vector<std::pair<double, double>> pairs) {
   data_ = std::move(pairs);
-  sorted_ = false;
-  ensure_sorted();
-}
-
-void Knn1D::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(data_.begin(), data_.end());
-    sorted_ = true;
-  }
+  std::sort(data_.begin(), data_.end());
 }
 
 std::vector<std::pair<double, double>> Knn1D::nearest(double key,
@@ -29,7 +21,6 @@ std::vector<std::pair<double, double>> Knn1D::nearest(double key,
   if (data_.empty()) {
     throw std::logic_error("Knn1D::nearest on empty database");
   }
-  ensure_sorted();
   k = std::min(k, data_.size());
 
   // Two-pointer expansion outward from the insertion point.

@@ -13,10 +13,17 @@ namespace sfn::stats {
 /// Qloss of the k pairs whose key is closest to the extrapolated
 /// CumDivNorm_final (k = 4 by default). A sorted array with binary search
 /// gives the same O(log n + k) lookup with better locality.
+///
+/// Thread safety: the container is kept sorted eagerly by insert()/build()
+/// (writes happen offline, so the O(n) sorted insert is irrelevant), which
+/// makes every const member a pure read — concurrent predict()/nearest()
+/// calls against a shared database are race-free. A lazy sort-on-first-
+/// query here once mutated state under const and raced exactly there.
 class Knn1D {
  public:
   Knn1D() = default;
 
+  /// Insert one pair at its sorted position (O(n); offline path).
   void insert(double key, double value);
 
   /// Bulk-build from pairs (invalidates prior content).
@@ -34,15 +41,11 @@ class Knn1D {
 
   /// All stored (key, value) pairs in sorted order (for persistence).
   [[nodiscard]] const std::vector<std::pair<double, double>>& items() const {
-    ensure_sorted();
     return data_;
   }
 
  private:
-  void ensure_sorted() const;
-
-  mutable std::vector<std::pair<double, double>> data_;
-  mutable bool sorted_ = true;
+  std::vector<std::pair<double, double>> data_;  ///< Always sorted.
 };
 
 }  // namespace sfn::stats

@@ -206,6 +206,241 @@ TEST(Controller, RejectsEmptyInputs) {
 TEST(Controller, DecisionToString) {
   EXPECT_EQ(runtime::to_string(Decision::kKeep), "keep");
   EXPECT_EQ(runtime::to_string(Decision::kRestartPcg), "restart-pcg");
+  EXPECT_EQ(runtime::to_string(Decision::kQuarantine), "quarantine");
+}
+
+// --- Decision boundaries (preview_decision is the stateless seam) --------
+
+TEST(ControllerBoundary, KeepBandEdgesWithDeadBand) {
+  const auto db = make_db();
+  runtime::ControllerParams params;  // keep_band 0.35, dead_band 0.1.
+  ModelSwitchController controller(params, three_candidates(), &db,
+                                   /*q=*/0.05, /*total_steps=*/128);
+  ASSERT_EQ(controller.current_candidate(), 1u);
+  // Upshift only strictly above q * (1 + dead_band) = 0.055.
+  EXPECT_EQ(controller.preview_decision(0.055), Decision::kKeep);
+  EXPECT_EQ(controller.preview_decision(0.0551), Decision::kSwitchAccurate);
+  // Downshift only strictly below q * (1 - keep_band - dead_band) = 0.0275.
+  EXPECT_EQ(controller.preview_decision(0.0276), Decision::kKeep);
+  EXPECT_EQ(controller.preview_decision(0.0274), Decision::kSwitchFaster);
+  // Everything between the widened edges keeps.
+  EXPECT_EQ(controller.preview_decision(0.04), Decision::kKeep);
+}
+
+TEST(ControllerBoundary, DownshiftBlockedAtFastest) {
+  const auto db = make_db();
+  auto candidates = three_candidates();
+  candidates[0].probability = 1.0;  // Start at the bottom of the ladder.
+  ModelSwitchController controller({}, candidates, &db, /*q=*/0.05, 128);
+  ASSERT_EQ(controller.current_candidate(), 0u);
+  EXPECT_EQ(controller.preview_decision(1e-6), Decision::kKeep);
+}
+
+TEST(ControllerBoundary, DownshiftBlockedIntoModelAboveRequirement) {
+  // The faster neighbour's offline mean quality (0.05) exceeds q = 0.03:
+  // headroom in the prediction must not downshift into a model that
+  // violates q on the average problem.
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db,
+                                   /*q=*/0.03, 128);
+  ASSERT_EQ(controller.current_candidate(), 1u);
+  EXPECT_EQ(controller.preview_decision(1e-6), Decision::kKeep);
+}
+
+TEST(ControllerBoundary, RestartMarginOnMostAccurate) {
+  const auto db = make_db();
+  auto candidates = three_candidates();
+  candidates[2].probability = 1.0;  // Start at the top of the ladder.
+  ModelSwitchController controller({}, candidates, &db, /*q=*/0.01, 128);
+  ASSERT_EQ(controller.current_candidate(), 2u);
+  // Above the upshift edge (0.011) but inside restart_margin (1.5): ride
+  // out the most accurate model rather than throw the run away.
+  EXPECT_EQ(controller.preview_decision(0.012), Decision::kKeep);
+  EXPECT_EQ(controller.preview_decision(0.015), Decision::kKeep);
+  // Clear violation: the exact solver is all that is left.
+  EXPECT_EQ(controller.preview_decision(0.0151), Decision::kRestartPcg);
+}
+
+// --- Quarantine ----------------------------------------------------------
+
+TEST(ControllerQuarantine, TripsInsideWindowQuarantineAndReplan) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db, 0.02, 128);
+  ASSERT_EQ(controller.current_candidate(), 1u);
+  EXPECT_EQ(controller.on_guard_trip(5, 1.0),
+            runtime::GuardVerdict::kTripRecorded);
+  EXPECT_EQ(controller.on_guard_trip(6, 2.0),
+            runtime::GuardVerdict::kTripRecorded);
+  EXPECT_EQ(controller.on_guard_trip(7, 3.0),
+            runtime::GuardVerdict::kQuarantined);
+  EXPECT_TRUE(controller.is_quarantined(1));
+  EXPECT_EQ(controller.quarantined_count(), 1u);
+  // Re-plan prefers escalating accuracy.
+  EXPECT_EQ(controller.current_candidate(), 2u);
+  ASSERT_FALSE(controller.events().empty());
+  const auto& ev = controller.events().back();
+  EXPECT_EQ(ev.decision, Decision::kQuarantine);
+  EXPECT_EQ(ev.from_candidate, 1u);
+  EXPECT_EQ(ev.to_candidate, 2u);
+  EXPECT_EQ(ev.step, 7);
+}
+
+TEST(ControllerQuarantine, SpreadTripsNeverQuarantine) {
+  const auto db = make_db();
+  runtime::ControllerParams params;  // trips 3 / window 20.
+  ModelSwitchController controller(params, three_candidates(), &db, 0.02,
+                                   512);
+  // Each trip is 25 steps from the last: the sliding window never holds
+  // more than one, so a occasionally-unlucky candidate survives.
+  for (int step = 0; step < 200; step += 25) {
+    EXPECT_EQ(controller.on_guard_trip(step, 1.0),
+              runtime::GuardVerdict::kTripRecorded);
+  }
+  EXPECT_EQ(controller.quarantined_count(), 0u);
+}
+
+TEST(ControllerQuarantine, ExhaustionIsLastResortNotRestart) {
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db, 0.02, 128);
+  ASSERT_EQ(controller.current_candidate(), 1u);
+  // Quarantine 1 -> re-plan to 2; quarantine 2 -> only 0 left (faster);
+  // quarantine 0 -> exhausted.
+  for (int t = 0; t < 3; ++t) controller.on_guard_trip(10 + t, 1.0);
+  EXPECT_EQ(controller.current_candidate(), 2u);
+  for (int t = 0; t < 2; ++t) controller.on_guard_trip(13 + t, 1.0);
+  EXPECT_EQ(controller.on_guard_trip(15, 1.0),
+            runtime::GuardVerdict::kQuarantined);
+  EXPECT_EQ(controller.current_candidate(), 0u);
+  for (int t = 0; t < 2; ++t) controller.on_guard_trip(16 + t, 1.0);
+  EXPECT_EQ(controller.on_guard_trip(18, 1.0),
+            runtime::GuardVerdict::kExhausted);
+
+  EXPECT_TRUE(controller.exhausted());
+  EXPECT_EQ(controller.quarantined_count(), 3u);
+  // Exhaustion degrades the *remaining* steps; it never replays the run.
+  EXPECT_FALSE(controller.restart_requested());
+  ASSERT_FALSE(controller.events().empty());
+  EXPECT_EQ(controller.events().back().decision, Decision::kRestartPcg);
+  // The controller is inert afterwards (both report channels).
+  EXPECT_FALSE(controller.on_step(30, 100.0).has_value());
+  EXPECT_EQ(controller.on_guard_trip(31, 1.0),
+            runtime::GuardVerdict::kExhausted);
+}
+
+TEST(ControllerQuarantine, QuarantinedRungIsSkippedBySwitches) {
+  const auto db = make_db();
+  auto candidates = three_candidates();
+  candidates[2].probability = 1.0;  // Start on the most accurate.
+  ModelSwitchController controller({}, candidates, &db, /*q=*/0.05, 128);
+  ASSERT_EQ(controller.current_candidate(), 2u);
+  // Quarantine the top rung: nothing above it, so re-plan steps down.
+  for (int t = 0; t < 3; ++t) controller.on_guard_trip(t, 1.0);
+  ASSERT_TRUE(controller.is_quarantined(2));
+  EXPECT_EQ(controller.current_candidate(), 1u);
+  for (int t = 0; t < 3; ++t) controller.on_guard_trip(5 + t, 1.0);
+  ASSERT_TRUE(controller.is_quarantined(1));
+  EXPECT_EQ(controller.current_candidate(), 0u);
+  // Predicted violation from the fastest: both upper rungs quarantined,
+  // nothing to escalate into — only a clear violation restarts.
+  EXPECT_EQ(controller.preview_decision(0.06), Decision::kKeep);
+  EXPECT_EQ(controller.preview_decision(0.08), Decision::kRestartPcg);
+}
+
+// --- Hysteresis ----------------------------------------------------------
+
+/// Noisy synthetic stream: CumDivNorm alternates between steep growth and
+/// stalls every check interval, exactly the shape that makes a greedy
+/// controller thrash up and down the ladder.
+double noisy_increment(int step) {
+  return ((step / 5) % 2 == 0) ? 0.7 : 0.0;
+}
+
+int count_switches(const std::vector<runtime::SwitchEvent>& events) {
+  int n = 0;
+  for (const auto& ev : events) {
+    if (ev.decision == Decision::kSwitchFaster ||
+        ev.decision == Decision::kSwitchAccurate) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(ControllerHysteresis, NoOscillationOnNoisyStream) {
+  const auto db = make_db();
+  runtime::ControllerParams hysteresis;  // Defaults: cooldown 1, dead-band.
+  runtime::ControllerParams greedy;
+  greedy.switch_cooldown_checks = 0;
+  greedy.switch_dead_band = 0.0;
+
+  ModelSwitchController calm(hysteresis, three_candidates(), &db,
+                             /*q=*/0.03, /*total_steps=*/128);
+  ModelSwitchController thrash(greedy, three_candidates(), &db,
+                               /*q=*/0.03, /*total_steps=*/128);
+  double value = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    value += noisy_increment(step);
+    calm.on_step(step, value);
+    thrash.on_step(step, value);
+  }
+  // The stream genuinely provokes oscillation in a greedy controller...
+  EXPECT_GE(count_switches(thrash.events()), 3);
+  // ...and hysteresis damps it without disabling switching outright.
+  EXPECT_LT(count_switches(calm.events()), count_switches(thrash.events()));
+  EXPECT_FALSE(calm.restart_requested());
+
+  // Core guarantee: a direction reversal needs a cooldown expiry, so two
+  // opposite-direction switches are at least two check intervals apart —
+  // at most one switch per interval and no flapping inside one.
+  const int interval = hysteresis.predictor.check_interval;
+  int last_step = -1000;
+  int last_direction = 0;
+  for (const auto& ev : calm.events()) {
+    int direction = 0;
+    if (ev.decision == Decision::kSwitchFaster) direction = -1;
+    if (ev.decision == Decision::kSwitchAccurate) direction = +1;
+    if (direction == 0) continue;
+    if (last_direction != 0 && direction != last_direction) {
+      EXPECT_GE(ev.step - last_step, 2 * interval)
+          << "reversal at step " << ev.step << " after " << last_step;
+    }
+    last_step = ev.step;
+    last_direction = direction;
+  }
+}
+
+TEST(ControllerHysteresis, DeadBandAbsorbsEdgeJitter) {
+  const auto db = make_db();
+  runtime::ControllerParams with_band;
+  with_band.keep_band = 0.5;
+  with_band.switch_dead_band = 0.1;
+  runtime::ControllerParams without_band = with_band;
+  without_band.switch_dead_band = 0.0;
+
+  const ModelSwitchController damped(with_band, three_candidates(), &db,
+                                     /*q=*/0.05, 128);
+  const ModelSwitchController greedy(without_band, three_candidates(), &db,
+                                     /*q=*/0.05, 128);
+  // A prediction jittering just below the raw band edge (0.025): the
+  // dead-band widens the keep zone to 0.02, so it no longer reacts.
+  EXPECT_EQ(damped.preview_decision(0.024), Decision::kKeep);
+  EXPECT_EQ(greedy.preview_decision(0.024), Decision::kSwitchFaster);
+  // A clear departure still acts.
+  EXPECT_EQ(damped.preview_decision(0.019), Decision::kSwitchFaster);
+}
+
+TEST(ControllerHysteresis, SameDirectionEscalationIsNeverDelayed) {
+  // The cooldown must hold only reversals: an escalation chain up to the
+  // restart (Algorithm 2's correctness path) proceeds check by check.
+  const auto db = make_db();
+  ModelSwitchController controller({}, three_candidates(), &db,
+                                   /*q=*/0.001, /*total_steps=*/128);
+  bool restarted = false;
+  for (int step = 0; step < 40 && !restarted; ++step) {
+    restarted = controller.on_step(step, 10.0 * step) ==
+                Decision::kRestartPcg;
+  }
+  EXPECT_TRUE(restarted);  // Hysteresis never blocks the escalation chain.
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 namespace sfn {
@@ -171,6 +173,48 @@ TEST(Knn, KLargerThanDatabase) {
 TEST(Knn, EmptyThrows) {
   const stats::Knn1D knn;
   EXPECT_THROW((void)knn.predict(1.0), std::logic_error);
+}
+
+TEST(Knn, InsertKeepsSortedOrder) {
+  stats::Knn1D knn;
+  knn.insert(3.0, 30.0);
+  knn.insert(1.0, 10.0);
+  knn.insert(2.0, 20.0);
+  knn.insert(2.0, 21.0);  // Duplicate key lands adjacent, order stable.
+  const auto& items = knn.items();
+  ASSERT_EQ(items.size(), 4u);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LE(items[i - 1].first, items[i].first);
+  }
+}
+
+TEST(Knn, ConcurrentPredictOnSharedDatabaseIsRaceFree) {
+  // The runtime shares one QualityDatabase across sessions; predict()
+  // must be a pure read. The lazy sort-on-first-query this container once
+  // used mutated state under const and raced exactly here — built via
+  // insert() with no build() call, so any leftover deferred-sort path
+  // would be exercised (and TSan-flagged) by the first queries below.
+  stats::Knn1D knn;
+  for (int i = 199; i >= 0; --i) {
+    knn.insert(i * 0.5, i * 1.0);  // value == 2 * key
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&knn, &mismatches, t] {
+      for (int i = 0; i < 400; ++i) {
+        const double key = ((i * 7 + t * 13) % 200) * 0.5;
+        if (std::abs(knn.predict(key, 1) - 2.0 * key) > 1e-12) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(Pareto, FrontSelectsNonDominated) {

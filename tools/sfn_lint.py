@@ -25,11 +25,18 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         or are returned to the caller. util::Table::print
                         (src/util/table.cpp) is the one sanctioned console
                         sink; bench/, examples/ and tests/ are exempt.
+  R6 pcg-in-runtime     src/runtime/ must not construct or name PcgSolver
+                        outside the fallback policy (fallback.{hpp,cpp}).
+                        The controller plans over surrogates; the one
+                        sanctioned exact solver in the runtime layer is
+                        runtime::FallbackPolicy's, so fallback counts,
+                        quarantine decisions and timing attribution stay
+                        consistent (DESIGN.md §11).
 
 Escape hatches are deliberate annotations, not config: append
-`// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3) or
-`// sfn-lint: allow-print` (R5) to the offending line, with a reason, and
-the rule skips it.
+`// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
+`// sfn-lint: allow-print` (R5) or `// sfn-lint: allow-pcg` (R6) to the
+offending line, with a reason, and the rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -220,6 +227,30 @@ def rule_raw_stdout(root: pathlib.Path) -> None:
 
 
 # --------------------------------------------------------------------------
+# R6: PcgSolver stays out of src/runtime/ except the fallback policy.
+
+PCG_RE = re.compile(r"\bPcgSolver\b")
+
+
+def rule_pcg_in_runtime(root: pathlib.Path) -> None:
+    allowed = {"fallback.hpp", "fallback.cpp"}
+    for path in sorted((root / "src" / "runtime").rglob("*.[ch]pp")):
+        if path.name in allowed:
+            continue
+        for line_no, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if "sfn-lint: allow-pcg" in raw:
+                continue
+            if PCG_RE.search(strip_line_comment(raw)):
+                report(
+                    "pcg-in-runtime", path.relative_to(root), line_no,
+                    "PcgSolver referenced in src/runtime/ outside the "
+                    "fallback policy; route exact solves through "
+                    "runtime::FallbackPolicy::exact_solver() (or annotate "
+                    "`// sfn-lint: allow-pcg` with a reason)")
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
@@ -262,6 +293,7 @@ def main() -> int:
     rule_unguarded_cast(root)
     rule_bench_json(root)
     rule_raw_stdout(root)
+    rule_pcg_in_runtime(root)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
     else:

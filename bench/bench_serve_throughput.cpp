@@ -1,0 +1,114 @@
+// Serving-engine throughput: N concurrent fixed-surrogate sessions on a
+// SessionServer, with cross-session inference batching on vs off. The
+// batched configuration coalesces every in-flight session's surrogate
+// solve into one Network::forward_batch dispatch per window, amortising
+// per-call overhead and (with >1 hardware thread) filling the inference
+// pool; the unbatched baseline runs the identical sessions with local
+// per-session inference.
+//
+// Expected shape: speedup >= 1 at >1 session, growing with the session
+// count; the acceptance target is >= 1.5x at 8 sessions on a 128^2 grid
+// on multi-core hardware. The hardware_threads row in BENCH_serve.json
+// records the machine, since a single-core box serialises the inference
+// pool and the batched/unbatched gap collapses toward 1.0 there.
+
+#include "bench/common.hpp"
+#include "serve/session_server.hpp"
+#include "util/timer.hpp"
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct RunStats {
+  double seconds = 0.0;
+  double steps_per_second = 0.0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+};
+
+RunStats run_sessions(const std::vector<sfn::workload::InputProblem>& problems,
+                      const sfn::core::TrainedModel& model, bool coalesce) {
+  using namespace sfn;
+  serve::ServerConfig config = serve::ServerConfig::from_env();
+  config.session_threads = problems.size();
+  config.queue_capacity = problems.size();
+  config.coalesce = coalesce;
+  serve::SessionServer server(config);
+
+  util::Timer timer;
+  std::vector<serve::SessionServer::JobId> ids;
+  ids.reserve(problems.size());
+  for (const auto& problem : problems) {
+    ids.push_back(server.submit_fixed(problem, model));
+  }
+  for (const auto id : ids) {
+    server.wait(id);
+  }
+  RunStats stats;
+  stats.seconds = timer.seconds();
+  long long total_steps = 0;
+  for (const auto& problem : problems) {
+    total_steps += problem.steps;
+  }
+  stats.steps_per_second =
+      stats.seconds > 0.0 ? static_cast<double>(total_steps) / stats.seconds
+                          : 0.0;
+  stats.batches = server.coalescer().batches_dispatched();
+  const auto batched = server.coalescer().requests_batched();
+  stats.mean_batch =
+      stats.batches > 0
+          ? static_cast<double>(batched) / static_cast<double>(stats.batches)
+          : 0.0;
+  server.shutdown();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfn;
+  auto ctx = bench::load_context(argc, argv);
+  bench::banner("Serving throughput — cross-session inference batching",
+                "serving extension of Dong et al., SC'19 (DESIGN.md §12)",
+                ctx.cfg);
+
+  const int grid = std::min(128, ctx.cfg.max_grid);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("grid %dx%d, %d steps/session, %u hardware thread(s)\n\n",
+              grid, grid, ctx.cfg.time_steps, hardware);
+
+  util::Table table({"Sessions", "Unbatched (s)", "Batched (s)",
+                     "Unbatched steps/s", "Batched steps/s", "Speedup",
+                     "Batches", "Mean batch"});
+  for (const int sessions : {1, 2, 4, 8}) {
+    const auto problems = bench::online_problems(
+        ctx, sessions, grid, /*tag=*/90 + static_cast<std::uint64_t>(sessions));
+    const auto unbatched = run_sessions(problems, ctx.tompson, false);
+    const auto batched = run_sessions(problems, ctx.tompson, true);
+    const double speedup =
+        batched.seconds > 0.0 ? unbatched.seconds / batched.seconds : 0.0;
+    table.add_row({std::to_string(sessions), util::fmt(unbatched.seconds, 3),
+                   util::fmt(batched.seconds, 3),
+                   util::fmt(unbatched.steps_per_second, 1),
+                   util::fmt(batched.steps_per_second, 1),
+                   util::fmt(speedup, 2), std::to_string(batched.batches),
+                   util::fmt(batched.mean_batch, 2)});
+    std::printf("  %d session(s): %.2fx\n", sessions, speedup);
+  }
+  table.print("\nServing throughput:");
+
+  util::Table env({"Key", "Value"});
+  env.add_row({"hardware_threads", std::to_string(hardware)});
+  env.add_row({"grid", std::to_string(grid)});
+  env.add_row({"steps_per_session", std::to_string(ctx.cfg.time_steps)});
+  env.add_row({"batch_max",
+               std::to_string(serve::CoalescerConfig::from_env().batch_max)});
+  env.add_row(
+      {"batch_wait_us",
+       std::to_string(serve::CoalescerConfig::from_env().batch_wait_us)});
+  bench::write_json("BENCH_serve.json", ctx.cfg,
+                    {{"serve_throughput", &table}, {"environment", &env}});
+  return 0;
+}

@@ -61,6 +61,13 @@ void encode_solver_input(const fluid::FlagGrid& flags, const fluid::GridF& rhs,
 NeuralProjection::NeuralProjection(nn::Network net, std::string name)
     : net_(std::move(net)), name_(std::move(name)) {}
 
+NeuralProjection::NeuralProjection(const nn::Network* shared_net,
+                                   InferenceSink* sink, std::string name)
+    : shared_(shared_net), sink_(sink), name_(std::move(name)) {
+  SFN_CHECK(shared_net != nullptr,
+            "NeuralProjection: shared-weights mode needs a network");
+}
+
 fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
                                           const fluid::GridF& rhs,
                                           fluid::GridF* pressure) {
@@ -70,7 +77,18 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
 
   double inv_scale = 1.0;
   encode_solver_input(flags, rhs, &inv_scale, &input_);
-  const nn::Tensor& output = net_.forward_inference(input_, ws_);
+  const nn::Network& active = net();
+  const nn::Tensor* result;
+  if (sink_ != nullptr) {
+    // Serving mode: hand the request to the coalescer, which may batch it
+    // with other sessions' steps. Blocks until output_ is filled; the
+    // sink contract guarantees bit-identity with the local path.
+    sink_->infer(active, input_, &output_);
+    result = &output_;
+  } else {
+    result = &active.forward_inference(input_, ws_);
+  }
+  const nn::Tensor& output = *result;
 
   const int nx = flags.nx();
   const int ny = flags.ny();
@@ -101,7 +119,7 @@ fluid::SolveStats NeuralProjection::solve(const fluid::FlagGrid& flags,
   stats.iterations = 1;
   stats.converged = true;
   stats.residual = 0.0;  // Not measured: that is the surrogate's point.
-  stats.flops = net_.flops(input_.shape());
+  stats.flops = net().flops(input_.shape());
   stats.seconds = timer.seconds();
   return stats;
 }

@@ -8,6 +8,23 @@
 
 namespace sfn::core {
 
+/// Where a NeuralProjection sends its forward passes. The default (no
+/// sink) runs the network locally on the calling thread; the serving
+/// layer (src/serve) installs a sink that coalesces requests from all
+/// in-flight sessions and dispatches them as one batched call per model.
+///
+/// Contract: `infer` blocks until `*out` holds the network's output for
+/// `input` and must produce bit-identical results to
+/// `net.forward_inference(input, ws)` — batching is a scheduling
+/// optimisation, never a numeric one (DESIGN.md §12). `net` and `input`
+/// stay valid until the call returns; `out` is caller-owned scratch.
+class InferenceSink {
+ public:
+  virtual ~InferenceSink() = default;
+  virtual void infer(const nn::Network& net, const nn::Tensor& input,
+                     nn::Tensor* out) = 0;
+};
+
 /// Adapter that plugs a convolutional surrogate into the fluid solver as a
 /// drop-in PoissonSolver (paper Eq. 4: p-hat = f_conv(div u*, g; W)).
 ///
@@ -18,7 +35,18 @@ namespace sfn::core {
 /// The network's single output channel times `s` is the pressure.
 class NeuralProjection final : public fluid::PoissonSolver {
  public:
+  /// Owning mode: the projection carries its own copy of the weights.
   NeuralProjection(nn::Network net, std::string name = "neural");
+
+  /// Shared-weights mode: `shared_net` is non-owning and must outlive the
+  /// projection (sessions built from OfflineArtifacts satisfy this — the
+  /// artifacts own the weights). With a non-null `sink`, forward passes
+  /// are routed through it so a serving layer can batch them across
+  /// sessions; with sink == nullptr inference runs locally, still without
+  /// a per-session weight copy. Sessions share weights, never mutable
+  /// state: the workspace and scratch tensors stay per-instance.
+  NeuralProjection(const nn::Network* shared_net, InferenceSink* sink,
+                   std::string name);
 
   fluid::SolveStats solve(const fluid::FlagGrid& flags,
                           const fluid::GridF& rhs,
@@ -26,15 +54,25 @@ class NeuralProjection final : public fluid::PoissonSolver {
 
   [[nodiscard]] std::string name() const override { return name_; }
 
+  /// The active weights, owned or shared.
+  [[nodiscard]] const nn::Network& net() const {
+    return shared_ != nullptr ? *shared_ : net_;
+  }
+
+  /// Mutable access to the owned copy (training/tests); invalid in
+  /// shared-weights mode, where weights belong to the artifact set.
   [[nodiscard]] nn::Network& network() { return net_; }
 
  private:
   nn::Network net_;
+  const nn::Network* shared_ = nullptr;
+  InferenceSink* sink_ = nullptr;
   std::string name_;
   // Reused across the thousands of solves a simulation makes, so the
   // steady-state inference loop performs no heap allocation.
   nn::Workspace ws_;
   nn::Tensor input_;
+  nn::Tensor output_;  ///< Sink result target (sink mode only).
 };
 
 /// Build the 2-channel network input from solver state; `inv_scale`

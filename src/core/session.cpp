@@ -120,8 +120,13 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
   solvers.reserve(candidates.size());
   for (const auto& c : candidates) {
     const auto& model = artifacts.library[c.model_id];
+    // Shared-weights mode: the artifacts own the networks (and outlive
+    // the run), so N concurrent sessions reference one weight set instead
+    // of cloning it N times. Mutable per-solve state (workspace, scratch
+    // tensors) stays inside each NeuralProjection instance.
     std::unique_ptr<fluid::PoissonSolver> solver =
-        std::make_unique<NeuralProjection>(model.net, model.spec.name);
+        std::make_unique<NeuralProjection>(&model.net, config.inference_sink,
+                                           model.spec.name);
     if (config.solver_decorator) {
       solver = config.solver_decorator(c.model_id, std::move(solver));
     }
@@ -209,9 +214,20 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
 
 SessionResult run_fixed(const workload::InputProblem& problem,
                         const TrainedModel& model) {
+  return run_fixed(problem, model, SessionConfig{});
+}
+
+SessionResult run_fixed(const workload::InputProblem& problem,
+                        const TrainedModel& model,
+                        const SessionConfig& config) {
   SessionResult result;
-  NeuralProjection solver(model.net, model.spec.name);
   const std::size_t model_id = model.records.model_id;
+  std::unique_ptr<fluid::PoissonSolver> solver =
+      std::make_unique<NeuralProjection>(&model.net, config.inference_sink,
+                                         model.spec.name);
+  if (config.solver_decorator) {
+    solver = config.solver_decorator(model_id, std::move(solver));
+  }
 
   obs::TraceCapture capture;
   {
@@ -219,7 +235,7 @@ SessionResult run_fixed(const workload::InputProblem& problem,
     fluid::SmokeSim sim = workload::make_sim(problem);
     for (int step = 0; step < problem.steps; ++step) {
       obs::TraceScope step_scope(kStepScope, model_id);
-      sim.step(&solver);
+      sim.step(solver.get());
     }
     result.final_density = sim.density();
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/neural_projection.hpp"
 #include "core/offline.hpp"
 #include "fluid/poisson.hpp"
 #include "runtime/controller.hpp"
@@ -29,6 +30,12 @@ struct SessionConfig {
   using SolverDecorator = std::function<std::unique_ptr<fluid::PoissonSolver>(
       std::size_t model_id, std::unique_ptr<fluid::PoissonSolver>)>;
   SolverDecorator solver_decorator;
+  /// Serving seam: when set, every surrogate forward pass is routed
+  /// through this sink (non-owning; must outlive the run) so a serving
+  /// layer can coalesce inference across concurrent sessions
+  /// (serve::InferenceCoalescer). The sink contract requires bit-identical
+  /// results to local inference, so solo and served runs agree exactly.
+  InferenceSink* inference_sink = nullptr;
 };
 
 /// Outcome of one adaptive simulation (paper §6.2, Algorithm 2).
@@ -81,5 +88,13 @@ SessionResult run_adaptive(const workload::InputProblem& problem,
 /// "Tompson-style" baseline mode used across the evaluation figures.
 SessionResult run_fixed(const workload::InputProblem& problem,
                         const TrainedModel& model);
+
+/// run_fixed honouring the SessionConfig seams that make sense without a
+/// controller: solver_decorator (fault injection) and inference_sink
+/// (serving). Controller/guard/quality fields are ignored — a fixed run
+/// has no switching machinery to configure.
+SessionResult run_fixed(const workload::InputProblem& problem,
+                        const TrainedModel& model,
+                        const SessionConfig& config);
 
 }  // namespace sfn::core

@@ -1,5 +1,7 @@
 #include "fluid/operators.hpp"
 
+#include "fluid/reduce.hpp"
+
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -107,21 +109,27 @@ double div_norm(const MacGrid2& vel, const FlagGrid& flags,
   const int ny = vel.ny();
   const GridF& u = vel.u();
   const GridF& v = vel.v();
+  // DivNorm feeds the switch controller, so its accumulation order is
+  // fixed by the grid (see fluid/reduce.hpp) — an omp reduction here would
+  // make CumDivNorm, and therefore switch decisions, depend on the OpenMP
+  // team size of whichever thread runs the session.
   double acc = 0.0;
   long long fluid_cells = 0;
-#pragma omp parallel for schedule(static) reduction(+ : acc, fluid_cells)
-  for (int j = 0; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      if (!flags.is_fluid(i, j)) {
-        continue;
-      }
-      ++fluid_cells;
-      const double d = (u(i + 1, j) - u(i, j)) + (v(i, j + 1) - v(i, j));
-      const double w =
-          std::max(1.0, static_cast<double>(weight_k - solid_distance(i, j)));
-      acc += w * d * d;
-    }
-  }
+  deterministic_row_sum_count(
+      ny,
+      [&](int j, double* row_sum, long long* row_count) {
+        for (int i = 0; i < nx; ++i) {
+          if (!flags.is_fluid(i, j)) {
+            continue;
+          }
+          ++*row_count;
+          const double d = (u(i + 1, j) - u(i, j)) + (v(i, j + 1) - v(i, j));
+          const double w = std::max(
+              1.0, static_cast<double>(weight_k - solid_distance(i, j)));
+          *row_sum += w * d * d;
+        }
+      },
+      &acc, &fluid_cells);
   return fluid_cells > 0 ? acc / static_cast<double>(fluid_cells) : 0.0;
 }
 

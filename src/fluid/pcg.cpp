@@ -1,6 +1,7 @@
 #include "fluid/pcg.hpp"
 
 #include "fluid/operators.hpp"
+#include "fluid/reduce.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -53,16 +54,18 @@ void apply_a(const FlagGrid& flags, const GridD& p, GridD* out) {
 double dot(const FlagGrid& flags, const GridD& a, const GridD& b) {
   const int nx = a.nx();
   const int ny = a.ny();
-  double acc = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : acc)
-  for (int j = 0; j < ny; ++j) {
+  // Fixed accumulation order (fluid/reduce.hpp): PCG trajectories must be
+  // bit-identical whatever OpenMP team size the calling thread carries, or
+  // guard fallbacks/restarts would diverge between serve and solo runs.
+  return deterministic_row_sum(ny, [&](int j) {
+    double row = 0.0;
     for (int i = 0; i < nx; ++i) {
       if (flags.is_fluid(i, j)) {
-        acc += a(i, j) * b(i, j);
+        row += a(i, j) * b(i, j);
       }
     }
-  }
-  return acc;
+    return row;
+  });
 }
 
 double max_abs(const FlagGrid& flags, const GridD& a) {

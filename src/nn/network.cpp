@@ -154,16 +154,31 @@ const Tensor& Network::forward_inference(const Tensor& input,
 
 std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
                                            util::ThreadPool& pool) const {
-  SFN_TRACE_SCOPE("nn.forward_batch");
   std::vector<Tensor> outputs(inputs.size());
+  std::vector<const Tensor*> in_ptrs(inputs.size());
+  std::vector<Tensor*> out_ptrs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_ptrs[i] = &inputs[i];
+    out_ptrs[i] = &outputs[i];
+  }
+  forward_batch(in_ptrs, out_ptrs, pool);
+  return outputs;
+}
+
+void Network::forward_batch(const std::vector<const Tensor*>& inputs,
+                            const std::vector<Tensor*>& outputs,
+                            util::ThreadPool& pool) const {
+  SFN_TRACE_SCOPE("nn.forward_batch");
+  SFN_CHECK(inputs.size() == outputs.size(),
+            "Network::forward_batch: inputs/outputs size mismatch");
   const std::size_t workers =
       std::min(std::max<std::size_t>(pool.size(), 1), inputs.size());
   if (workers <= 1) {
     Workspace ws;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      outputs[i] = forward_inference(inputs[i], ws);
+      outputs[i]->copy_from(forward_inference(*inputs[i], ws));
     }
-    return outputs;
+    return;
   }
 
   std::vector<std::future<void>> pending;
@@ -172,17 +187,21 @@ std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
     pending.push_back(pool.submit([this, &inputs, &outputs, t, workers] {
       // Cross-problem parallelism only: pin this worker's intra-op OpenMP
       // team to one thread so P workers do not each spawn a full team.
+      // Save/restore the thread ICV — pool workers are long-lived and go
+      // on to run other tasks (a served session's fluid kernels must not
+      // inherit a stale 1-thread pin).
+      const int prev_threads = omp_get_max_threads();
       omp_set_num_threads(1);
       Workspace ws;
       for (std::size_t i = t; i < inputs.size(); i += workers) {
-        outputs[i] = forward_inference(inputs[i], ws);
+        outputs[i]->copy_from(forward_inference(*inputs[i], ws));
       }
+      omp_set_num_threads(prev_threads);
     }));
   }
   for (auto& f : pending) {
     f.get();
   }
-  return outputs;
 }
 
 Tensor Network::backward(const Tensor& grad_output) {

@@ -45,6 +45,19 @@ class Gauge {
       value_.store(v, std::memory_order_relaxed);
     }
   }
+  /// Monotone high-water update: keep the maximum of the current value
+  /// and `v`. Lock-free CAS loop, safe from any thread — used for peak
+  /// depths (serve.queue_depth_peak) where a plain set() would let a
+  /// racing lower reading erase the peak.
+  void set_max(double v) {
+    if (!metrics_enabled()) {
+      return;
+    }
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,254 @@
+#include "serve/coalescer.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sfn::serve {
+
+namespace {
+
+/// Coalescer instruments. Histogram serve.batch_size carries the dispatch
+/// group sizes (inline bypasses observe as 1 — they are batches of one);
+/// serve.queue_depth is the instantaneous queue, _peak its high water.
+obs::Histogram& batch_size_histogram() {
+  static obs::Histogram& h = obs::histogram("serve.batch_size");
+  return h;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.queue_depth");
+  return g;
+}
+obs::Gauge& queue_peak_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.queue_depth_peak");
+  return g;
+}
+
+}  // namespace
+
+CoalescerConfig CoalescerConfig::from_env() {
+  CoalescerConfig config;
+  config.batch_max = static_cast<std::size_t>(std::max<long long>(
+      1, util::env_int("SFN_BATCH_MAX",
+                       static_cast<long long>(config.batch_max))));
+  config.batch_wait_us =
+      std::max<long long>(0, util::env_int("SFN_BATCH_WAIT_US",
+                                           config.batch_wait_us));
+  return config;
+}
+
+InferenceCoalescer::InferenceCoalescer(CoalescerConfig config)
+    : config_(config),
+      pool_(config.inference_threads > 0 ? config.inference_threads
+                                         : std::thread::hardware_concurrency()),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+InferenceCoalescer::~InferenceCoalescer() { shutdown(); }
+
+void InferenceCoalescer::run_inline(const nn::Network& net,
+                                    const nn::Tensor& input, nn::Tensor* out) {
+  // One workspace per calling thread: sessions are single-threaded, so
+  // the bypass stays allocation-free in steady state without per-request
+  // workspace churn.
+  static thread_local nn::Workspace ws;
+  requests_inline_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_histogram().observe(1.0);
+  out->copy_from(net.forward_inference(input, ws));
+}
+
+void InferenceCoalescer::infer(const nn::Network& net, const nn::Tensor& input,
+                               nn::Tensor* out) {
+  // Single-session bypass: with nobody to batch against, the queue hop
+  // would only add latency. A racing second session start is harmless —
+  // the request is still computed correctly, just unbatched.
+  if (active_sessions_.load(std::memory_order_relaxed) <= 1) {
+    run_inline(net, input, out);
+    return;
+  }
+
+  Request request;
+  request.net = &net;
+  request.input = &input;
+  request.out = out;
+  {
+    std::unique_lock lock(mutex_);
+    if (stop_) {
+      lock.unlock();
+      run_inline(net, input, out);
+      return;
+    }
+    queue_.push_back(&request);
+    high_water_ = std::max(high_water_, queue_.size());
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    queue_peak_gauge().set_max(static_cast<double>(queue_.size()));
+    arrival_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return request.done; });
+  }
+  if (request.error) {
+    // Fault isolation: the exception a poisoned forward raised inside the
+    // dispatcher surfaces on the session that owns the request, exactly
+    // as if the session had run inference locally.
+    std::rethrow_exception(request.error);
+  }
+}
+
+void InferenceCoalescer::session_started() {
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void InferenceCoalescer::session_finished() {
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  // A waiting dispatcher's early-flush threshold depends on the active
+  // count; wake it so a window never outlives the sessions that fed it.
+  arrival_cv_.notify_one();
+}
+
+void InferenceCoalescer::dispatcher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    arrival_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+
+    // Micro-batch window: flush on batch_max requests or batch_wait_us
+    // after the window opened, whichever comes first. Flush early once
+    // every active session has a request in flight — each session blocks
+    // on its one request, so the batch cannot grow further. During
+    // shutdown the window collapses: drain immediately.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.batch_wait_us);
+    while (!stop_ && queue_.size() < config_.batch_max) {
+      const auto active = static_cast<std::size_t>(
+          std::max(1, active_sessions_.load(std::memory_order_relaxed)));
+      if (queue_.size() >= active) {
+        break;
+      }
+      if (arrival_cv_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    std::vector<Request*> batch;
+    if (queue_.size() > config_.batch_max) {
+      // Oversized backlog (e.g. after a timeout storm): take one full
+      // window, leave the rest for the next iteration.
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(
+                                        config_.batch_max));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(
+                                                        config_.batch_max));
+    } else {
+      batch = std::move(queue_);
+      queue_.clear();
+    }
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    lock.unlock();
+
+    execute(batch);
+
+    lock.lock();
+    for (Request* request : batch) {
+      request->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void InferenceCoalescer::execute(const std::vector<Request*>& batch) {
+  SFN_TRACE_SCOPE("serve.dispatch");
+  // Group by model identity. Sessions share weights, so requests for the
+  // same architecture carry the same Network pointer; ordering the groups
+  // by pointer is fine — grouping only affects scheduling, never values.
+  std::vector<Request*> sorted = batch;
+  std::sort(sorted.begin(), sorted.end(), [](const Request* a,
+                                             const Request* b) {
+    return a->net < b->net;
+  });
+
+  std::vector<const nn::Tensor*> inputs;
+  std::vector<nn::Tensor*> outputs;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j]->net == sorted[i]->net) {
+      ++j;
+    }
+    inputs.clear();
+    outputs.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      inputs.push_back(sorted[k]->input);
+      outputs.push_back(sorted[k]->out);
+    }
+    batch_size_histogram().observe(static_cast<double>(inputs.size()));
+    try {
+      sorted[i]->net->forward_batch(inputs, outputs, pool_);
+    } catch (...) {
+      // A forward threw (e.g. a numeric-invariant trip on one poisoned
+      // input). Re-run the group one request at a time so only the
+      // offender fails; everyone else still gets a correct result, and
+      // the dispatcher thread never dies.
+      for (std::size_t k = i; k < j; ++k) {
+        try {
+          sorted[k]->net->forward_batch({sorted[k]->input}, {sorted[k]->out},
+                                        pool_);
+        } catch (...) {
+          sorted[k]->error = std::current_exception();
+        }
+      }
+    }
+    {
+      const std::lock_guard guard(mutex_);
+      ++batches_;
+      requests_batched_ += inputs.size();
+    }
+    i = j;
+  }
+}
+
+void InferenceCoalescer::shutdown() {
+  {
+    const std::lock_guard guard(mutex_);
+    if (stop_ && !dispatcher_.joinable()) {
+      return;
+    }
+    stop_ = true;
+  }
+  arrival_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+std::size_t InferenceCoalescer::queue_high_water() const {
+  const std::lock_guard guard(mutex_);
+  return high_water_;
+}
+
+std::size_t InferenceCoalescer::pending() const {
+  const std::lock_guard guard(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t InferenceCoalescer::batches_dispatched() const {
+  const std::lock_guard guard(mutex_);
+  return batches_;
+}
+
+std::uint64_t InferenceCoalescer::requests_batched() const {
+  const std::lock_guard guard(mutex_);
+  return requests_batched_;
+}
+
+std::uint64_t InferenceCoalescer::requests_inline() const {
+  return requests_inline_.load(std::memory_order_relaxed);
+}
+
+}  // namespace sfn::serve

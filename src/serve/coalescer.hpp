@@ -1,0 +1,125 @@
+#pragma once
+
+#include "core/neural_projection.hpp"
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfn::serve {
+
+/// Micro-batching window knobs. Defaults honour the SFN_BATCH_*
+/// environment variables (read through util::config).
+struct CoalescerConfig {
+  /// Flush a window as soon as this many requests are queued
+  /// (SFN_BATCH_MAX).
+  std::size_t batch_max = 8;
+  /// ... or once this much time has passed since the window opened
+  /// (SFN_BATCH_WAIT_US), whichever comes first. The dispatcher also
+  /// flushes early when every active session has a request queued —
+  /// waiting longer could never grow the batch.
+  long long batch_wait_us = 200;
+  /// Threads in the coalescer's private inference pool (0 = hardware
+  /// concurrency). Private on purpose: batches must never execute on the
+  /// session pool, whose workers are exactly the threads blocked waiting
+  /// for these results.
+  std::size_t inference_threads = 0;
+
+  [[nodiscard]] static CoalescerConfig from_env();
+};
+
+/// Cross-session inference coalescer: the core::InferenceSink that
+/// SessionServer installs into every served session. Requests from all
+/// in-flight sessions queue here; a dedicated dispatcher thread groups
+/// them by model (shared `const nn::Network*` identity — sessions built
+/// from one artifact set reference one weight copy) and executes each
+/// group as a single Network::forward_batch call on a private pool.
+///
+/// Guarantees:
+///  - bit-identical results to local forward_inference (the sink
+///    contract; forward_batch pins intra-op OpenMP and the kernels are
+///    team-size invariant, see DESIGN.md §12);
+///  - single-session bypass: while at most one session is active,
+///    infer() runs inline on the caller's thread — no queue hop, solo
+///    latency unchanged;
+///  - bounded queue: each session blocks on its one in-flight request, so
+///    queue depth can never exceed the number of active sessions (the
+///    high-water mark is tracked and asserted in the stress test);
+///  - drain on shutdown: queued requests are executed, never dropped —
+///    a blocked session always wakes with a valid result.
+class InferenceCoalescer final : public core::InferenceSink {
+ public:
+  explicit InferenceCoalescer(CoalescerConfig config = CoalescerConfig::from_env());
+  ~InferenceCoalescer() override;
+
+  InferenceCoalescer(const InferenceCoalescer&) = delete;
+  InferenceCoalescer& operator=(const InferenceCoalescer&) = delete;
+
+  /// Blocking. Batched with other sessions' concurrent requests when more
+  /// than one session is active; inline otherwise.
+  void infer(const nn::Network& net, const nn::Tensor& input,
+             nn::Tensor* out) override;
+
+  /// Session accounting, maintained by SessionServer: the active count
+  /// drives the single-session bypass and the everyone-is-waiting early
+  /// flush.
+  void session_started();
+  void session_finished();
+
+  /// Drain the queue, then stop the dispatcher. Idempotent. Requests
+  /// arriving after shutdown are executed inline (correct, unbatched).
+  void shutdown();
+
+  [[nodiscard]] std::size_t active_sessions() const {
+    return static_cast<std::size_t>(
+        active_sessions_.load(std::memory_order_relaxed));
+  }
+  /// Peak queued requests observed (never exceeds peak active sessions).
+  [[nodiscard]] std::size_t queue_high_water() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t batches_dispatched() const;
+  [[nodiscard]] std::uint64_t requests_batched() const;
+  [[nodiscard]] std::uint64_t requests_inline() const;
+
+ private:
+  struct Request {
+    const nn::Network* net = nullptr;
+    const nn::Tensor* input = nullptr;
+    nn::Tensor* out = nullptr;
+    bool done = false;
+    /// A forward that threw (e.g. an SFN_CHECK_NUMERICS trip on a
+    /// poisoned input) is rethrown on the owning session's thread;
+    /// innocent batch-mates are re-run individually, never failed.
+    std::exception_ptr error;
+  };
+
+  void dispatcher_loop();
+  /// Group `batch` by network and run one forward_batch per group.
+  /// Called without the queue mutex held.
+  void execute(const std::vector<Request*>& batch);
+  void run_inline(const nn::Network& net, const nn::Tensor& input,
+                  nn::Tensor* out);
+
+  CoalescerConfig config_;
+  util::ThreadPool pool_;  ///< Private inference pool (see config).
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrival_cv_;  ///< Dispatcher wakeups.
+  std::condition_variable done_cv_;     ///< Requester wakeups.
+  std::vector<Request*> queue_;
+  bool stop_ = false;
+  std::size_t high_water_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t requests_batched_ = 0;
+
+  std::atomic<int> active_sessions_{0};
+  std::atomic<std::uint64_t> requests_inline_{0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace sfn::serve

@@ -1,0 +1,230 @@
+#include "serve/session_server.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sfn::serve {
+
+namespace {
+
+obs::Gauge& sessions_active_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.sessions_active");
+  return g;
+}
+obs::Counter& jobs_counter() {
+  static obs::Counter& c = obs::counter("serve.jobs_completed");
+  return c;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter& c = obs::counter("serve.jobs_rejected");
+  return c;
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig config;
+  config.queue_capacity = static_cast<std::size_t>(std::max<long long>(
+      1, util::env_int("SFN_SERVE_QUEUE",
+                       static_cast<long long>(config.queue_capacity))));
+  config.batch = CoalescerConfig::from_env();
+  return config;
+}
+
+SessionServer::SessionServer(ServerConfig config)
+    : config_(config),
+      coalescer_(config.batch),
+      pool_(std::max<std::size_t>(1, config.session_threads)) {}
+
+SessionServer::~SessionServer() { shutdown(); }
+
+SessionServer::JobId SessionServer::enqueue(Job job, bool may_block) {
+  JobId id = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (!accepting_) {
+      throw ServerStoppedError();
+    }
+    if (queued_ >= config_.queue_capacity) {
+      if (!may_block || config_.overflow == ServerConfig::Overflow::kReject) {
+        rejected_counter().add();
+        throw QueueFullError(config_.queue_capacity);
+      }
+      space_cv_.wait(lock, [&] {
+        return !accepting_ || queued_ < config_.queue_capacity;
+      });
+      if (!accepting_) {
+        throw ServerStoppedError();
+      }
+    }
+    id = next_id_++;
+    ++queued_;
+    queue_high_water_ = std::max(queue_high_water_, queued_);
+    jobs_.emplace(id, std::make_unique<Job>(std::move(job)));
+  }
+  pool_.submit([this, id] { run_job(id); });
+  return id;
+}
+
+SessionServer::JobId SessionServer::submit_fixed(
+    const workload::InputProblem& problem, const core::TrainedModel& model,
+    core::SessionConfig session) {
+  Job job;
+  job.kind = Kind::kFixed;
+  job.problem = problem;
+  job.model = &model;
+  job.session = std::move(session);
+  return enqueue(std::move(job), /*may_block=*/true);
+}
+
+SessionServer::JobId SessionServer::submit_adaptive(
+    const workload::InputProblem& problem,
+    const core::OfflineArtifacts& artifacts, core::SessionConfig session) {
+  Job job;
+  job.kind = Kind::kAdaptive;
+  job.problem = problem;
+  job.artifacts = &artifacts;
+  job.session = std::move(session);
+  return enqueue(std::move(job), /*may_block=*/true);
+}
+
+std::optional<SessionServer::JobId> SessionServer::try_submit_fixed(
+    const workload::InputProblem& problem, const core::TrainedModel& model,
+    core::SessionConfig session) {
+  try {
+    Job job;
+    job.kind = Kind::kFixed;
+    job.problem = problem;
+    job.model = &model;
+    job.session = std::move(session);
+    return enqueue(std::move(job), /*may_block=*/false);
+  } catch (const QueueFullError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<SessionServer::JobId> SessionServer::try_submit_adaptive(
+    const workload::InputProblem& problem,
+    const core::OfflineArtifacts& artifacts, core::SessionConfig session) {
+  try {
+    Job job;
+    job.kind = Kind::kAdaptive;
+    job.problem = problem;
+    job.artifacts = &artifacts;
+    job.session = std::move(session);
+    return enqueue(std::move(job), /*may_block=*/false);
+  } catch (const QueueFullError&) {
+    return std::nullopt;
+  }
+}
+
+void SessionServer::run_job(JobId id) {
+  Job* job = nullptr;
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return;
+    }
+    job = it->second.get();
+    --queued_;
+    ++running_;
+    sessions_active_gauge().set(static_cast<double>(running_));
+  }
+  space_cv_.notify_one();
+
+  // Per-session isolation: everything mutable (controller, fallback,
+  // workspaces, the TraceCapture feeding derive_timing) is created inside
+  // run_adaptive/run_fixed on this worker thread. The only shared pieces
+  // are the const weights and the coalescer, whose sink contract is
+  // bit-identity with local inference.
+  coalescer_.session_started();
+  core::SessionConfig session = job->session;
+  if (config_.coalesce) {
+    session.inference_sink = &coalescer_;
+  }
+
+  core::SessionResult result;
+  std::exception_ptr error;
+  try {
+    obs::TraceScope serve_scope("serve.session", id);
+    result = job->kind == Kind::kFixed
+                 ? core::run_fixed(job->problem, *job->model, session)
+                 : core::run_adaptive(job->problem, *job->artifacts, session);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  coalescer_.session_finished();
+
+  {
+    const std::lock_guard lock(mutex_);
+    job->result = std::move(result);
+    job->error = error;
+    job->done = true;
+    --running_;
+    ++completed_;
+    sessions_active_gauge().set(static_cast<double>(running_));
+    jobs_counter().add();
+  }
+  done_cv_.notify_all();
+}
+
+core::SessionResult SessionServer::wait(JobId id) {
+  std::unique_lock lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("SessionServer::wait: unknown job id " +
+                                std::to_string(id));
+  }
+  Job* job = it->second.get();
+  if (job->redeemed) {
+    throw std::invalid_argument("SessionServer::wait: job " +
+                                std::to_string(id) + " already redeemed");
+  }
+  done_cv_.wait(lock, [&] { return job->done; });
+  job->redeemed = true;
+  if (job->error) {
+    std::exception_ptr error = job->error;
+    jobs_.erase(it);
+    std::rethrow_exception(error);
+  }
+  core::SessionResult result = std::move(job->result);
+  jobs_.erase(it);
+  return result;
+}
+
+void SessionServer::wait_all() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+void SessionServer::shutdown() {
+  {
+    const std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  space_cv_.notify_all();
+  wait_all();
+  coalescer_.shutdown();
+}
+
+std::size_t SessionServer::sessions_active() const {
+  const std::lock_guard lock(mutex_);
+  return running_;
+}
+
+std::size_t SessionServer::queue_high_water() const {
+  const std::lock_guard lock(mutex_);
+  return queue_high_water_;
+}
+
+std::uint64_t SessionServer::jobs_completed() const {
+  const std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+}  // namespace sfn::serve

@@ -1,0 +1,161 @@
+#pragma once
+
+#include "core/session.hpp"
+#include "serve/coalescer.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/problems.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace sfn::serve {
+
+/// Thrown by submit when the queue is full and the overflow policy is
+/// kReject. The caller sheds load; nothing was enqueued.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(std::size_t capacity)
+      : std::runtime_error("SessionServer: submission queue full (capacity " +
+                           std::to_string(capacity) + ")") {}
+};
+
+/// Thrown by submit after shutdown() (or during destruction).
+class ServerStoppedError : public std::runtime_error {
+ public:
+  ServerStoppedError()
+      : std::runtime_error("SessionServer: server is shut down") {}
+};
+
+struct ServerConfig {
+  /// Workers running sessions. Also the bound on concurrently *running*
+  /// sessions, and therefore on the coalescer's queue depth (each running
+  /// session has at most one inference request in flight).
+  std::size_t session_threads = 4;
+  /// Bounded submission queue: at most this many accepted-but-not-started
+  /// sessions (SFN_SERVE_QUEUE).
+  std::size_t queue_capacity = 32;
+  enum class Overflow {
+    kBlock,   ///< submit() blocks until a slot frees.
+    kReject,  ///< submit() throws QueueFullError.
+  };
+  Overflow overflow = Overflow::kBlock;
+  /// Cross-session inference batching. Off = every session runs local
+  /// inference on its own worker (the pre-serving behaviour; kept as the
+  /// benchmark baseline and an operational escape hatch).
+  bool coalesce = true;
+  CoalescerConfig batch;
+
+  /// Defaults with the SFN_SERVE_QUEUE / SFN_BATCH_* overrides applied.
+  [[nodiscard]] static ServerConfig from_env();
+};
+
+/// Multi-session serving engine: runs many run_adaptive / run_fixed
+/// sessions concurrently over a shared session pool, with cross-session
+/// inference batching through an InferenceCoalescer.
+///
+/// Isolation model (DESIGN.md §12): sessions share immutable weights (the
+/// caller-owned TrainedModel / OfflineArtifacts, which must outlive their
+/// jobs) and the coalescer; every piece of mutable runtime state —
+/// controller, quarantine ledger, fallback policy, workspaces, trace
+/// capture — is constructed per session inside run_adaptive/run_fixed on
+/// the worker thread, so no session can observe another's decisions.
+///
+/// Shutdown drains: accepted jobs run to completion, their results stay
+/// collectable via wait(), and the coalescer is stopped only after the
+/// last session finished.
+class SessionServer {
+ public:
+  using JobId = std::uint64_t;
+
+  explicit SessionServer(ServerConfig config = ServerConfig{});
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Enqueue one fixed-model session. Honours the overflow policy; the
+  /// returned id is redeemed with wait(). `model` is borrowed until the
+  /// job completes.
+  JobId submit_fixed(const workload::InputProblem& problem,
+                     const core::TrainedModel& model,
+                     core::SessionConfig session = {});
+
+  /// Enqueue one adaptive session; `artifacts` is borrowed until the job
+  /// completes.
+  JobId submit_adaptive(const workload::InputProblem& problem,
+                        const core::OfflineArtifacts& artifacts,
+                        core::SessionConfig session = {});
+
+  /// Non-blocking admission regardless of the overflow policy: nullopt
+  /// instead of blocking/throwing when the queue is full.
+  std::optional<JobId> try_submit_fixed(const workload::InputProblem& problem,
+                                        const core::TrainedModel& model,
+                                        core::SessionConfig session = {});
+  std::optional<JobId> try_submit_adaptive(
+      const workload::InputProblem& problem,
+      const core::OfflineArtifacts& artifacts,
+      core::SessionConfig session = {});
+
+  /// Block until job `id` finished; returns its result (or rethrows the
+  /// exception that killed it). Each id is redeemable exactly once.
+  core::SessionResult wait(JobId id);
+
+  /// Block until every accepted job has finished.
+  void wait_all();
+
+  /// Stop accepting, drain queued and running sessions, stop the
+  /// coalescer. Idempotent; also called by the destructor. Results of
+  /// drained jobs remain redeemable.
+  void shutdown();
+
+  [[nodiscard]] std::size_t sessions_active() const;
+  /// Peak accepted-but-not-started sessions (≤ queue_capacity).
+  [[nodiscard]] std::size_t queue_high_water() const;
+  [[nodiscard]] std::uint64_t jobs_completed() const;
+  [[nodiscard]] const InferenceCoalescer& coalescer() const {
+    return coalescer_;
+  }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  enum class Kind { kFixed, kAdaptive };
+  struct Job {
+    Kind kind = Kind::kFixed;
+    workload::InputProblem problem;
+    const core::TrainedModel* model = nullptr;
+    const core::OfflineArtifacts* artifacts = nullptr;
+    core::SessionConfig session;
+    bool done = false;
+    bool redeemed = false;
+    core::SessionResult result;
+    std::exception_ptr error;
+  };
+
+  JobId enqueue(Job job, bool may_block);
+  void run_job(JobId id);
+
+  ServerConfig config_;
+  InferenceCoalescer coalescer_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  ///< submit() backpressure.
+  std::condition_variable done_cv_;   ///< wait()/drain wakeups.
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+  std::size_t queued_ = 0;   ///< Accepted, not yet started.
+  std::size_t running_ = 0;  ///< Started, not yet finished.
+  std::size_t queue_high_water_ = 0;
+  std::uint64_t completed_ = 0;
+  bool accepting_ = true;
+
+  /// Declared last: its destructor joins the workers, which touch all of
+  /// the state above.
+  util::ThreadPool pool_;
+};
+
+}  // namespace sfn::serve

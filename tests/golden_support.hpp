@@ -1,0 +1,251 @@
+#pragma once
+
+// Golden-trajectory infrastructure shared by golden_test and
+// persistence_test: record per-step DivNorm / CumDivNorm and the final
+// quality loss of a fixed-surrogate rollout, persist it as a small JSON
+// baseline under tests/golden/, and diff a fresh run against the stored
+// file with per-metric relative tolerances. Regeneration goes through
+// the same record/save helpers (`golden_test --update-golden`), so a
+// baseline can never drift from the measurement code that checks it.
+
+#include "core/session.hpp"
+#include "fluid/operators.hpp"
+#include "fluid/pcg.hpp"
+#include "util/table.hpp"
+#include "workload/problems.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sfn::test {
+
+/// One recorded baseline: the telemetry stream the runtime's switching
+/// machinery consumes (DivNorm per step, its running sum) plus the final
+/// quality loss against the exact PCG rollout of the same problem.
+struct GoldenTrajectory {
+  std::string name;
+  std::uint64_t problem_seed = 0;
+  int grid = 0;
+  int steps = 0;
+  std::vector<double> div_norm;
+  std::vector<double> cum_div_norm;
+  double final_qloss = 0.0;
+};
+
+/// Per-metric relative tolerances. CumDivNorm is the controller's input,
+/// so its bound is the tight one (acceptance: no wider than 1e-5
+/// relative); Qloss compares two chaotic rollouts and gets slightly more
+/// slack. An absolute floor keeps near-zero steps from demanding
+/// impossible relative precision.
+struct GoldenTolerances {
+  double div_norm_rel = 1e-5;
+  double cum_div_norm_rel = 1e-5;
+  double qloss_rel = 1e-4;
+  double abs_floor = 1e-12;
+};
+
+/// Run `problem` with the fixed surrogate `model`, recording the
+/// telemetry, then run the PCG reference for the final quality loss.
+inline GoldenTrajectory record_trajectory(std::string name,
+                                          const workload::InputProblem& problem,
+                                          const core::TrainedModel& model) {
+  GoldenTrajectory golden;
+  golden.name = std::move(name);
+  golden.problem_seed = problem.seed;
+  golden.grid = problem.nx;
+  golden.steps = problem.steps;
+
+  core::NeuralProjection solver(&model.net, /*sink=*/nullptr,
+                                model.spec.name);
+  fluid::SmokeSim sim = workload::make_sim(problem);
+  for (int step = 0; step < problem.steps; ++step) {
+    const auto telemetry = sim.step(&solver);
+    golden.div_norm.push_back(telemetry.div_norm);
+    golden.cum_div_norm.push_back(telemetry.cum_div_norm);
+  }
+
+  fluid::PcgSolver pcg;
+  fluid::SmokeSim reference = workload::make_sim(problem);
+  for (int step = 0; step < problem.steps; ++step) {
+    reference.step(&pcg);
+  }
+  golden.final_qloss =
+      fluid::quality_loss(reference.density(), sim.density());
+  return golden;
+}
+
+namespace golden_detail {
+
+inline std::string fmt_double(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+inline std::string fmt_array(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fmt_double(xs[i]);
+  }
+  return out + "]";
+}
+
+/// Locate `"key":` in the document and return the text of its value up
+/// to the next top-level ',' or '}' (arrays return the bracketed body).
+inline std::string find_value(const std::string& doc,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = doc.find(needle);
+  if (at == std::string::npos) {
+    throw std::runtime_error("golden file missing key: " + key);
+  }
+  std::size_t i = at + needle.size();
+  while (i < doc.size() && (doc[i] == ' ' || doc[i] == '\n')) ++i;
+  if (i < doc.size() && doc[i] == '[') {
+    const auto end = doc.find(']', i);
+    if (end == std::string::npos) {
+      throw std::runtime_error("golden file: unterminated array for " + key);
+    }
+    return doc.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < doc.size() && doc[end] != ',' && doc[end] != '}' &&
+         doc[end] != '\n') {
+    ++end;
+  }
+  return doc.substr(i, end - i);
+}
+
+inline std::vector<double> parse_array(const std::string& body) {
+  std::vector<double> out;
+  std::stringstream stream(body);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    out.push_back(std::stod(token));
+  }
+  return out;
+}
+
+inline std::string strip_quotes(std::string value) {
+  while (!value.empty() && (value.back() == ' ' || value.back() == '"')) {
+    value.pop_back();
+  }
+  while (!value.empty() && (value.front() == ' ' || value.front() == '"')) {
+    value.erase(value.begin());
+  }
+  return value;
+}
+
+/// Relative mismatch of two values over an absolute floor.
+inline double rel_diff(double expected, double actual, double abs_floor) {
+  const double scale = std::max(std::abs(expected), abs_floor);
+  return std::abs(actual - expected) / scale;
+}
+
+}  // namespace golden_detail
+
+inline void save_golden(const GoldenTrajectory& golden,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write golden file: " + path);
+  }
+  using golden_detail::fmt_array;
+  using golden_detail::fmt_double;
+  out << "{\n"
+      << "  \"name\": \"" << golden.name << "\",\n"
+      << "  \"problem_seed\": " << golden.problem_seed << ",\n"
+      << "  \"grid\": " << golden.grid << ",\n"
+      << "  \"steps\": " << golden.steps << ",\n"
+      << "  \"final_qloss\": " << fmt_double(golden.final_qloss) << ",\n"
+      << "  \"div_norm\": " << fmt_array(golden.div_norm) << ",\n"
+      << "  \"cum_div_norm\": " << fmt_array(golden.cum_div_norm) << "\n"
+      << "}\n";
+}
+
+inline GoldenTrajectory load_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read golden file: " + path +
+                             " (regenerate with golden_test"
+                             " --update-golden)");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  using namespace golden_detail;
+  GoldenTrajectory golden;
+  golden.name = strip_quotes(find_value(doc, "name"));
+  golden.problem_seed =
+      static_cast<std::uint64_t>(std::stoull(find_value(doc, "problem_seed")));
+  golden.grid = std::stoi(find_value(doc, "grid"));
+  golden.steps = std::stoi(find_value(doc, "steps"));
+  golden.final_qloss = std::stod(find_value(doc, "final_qloss"));
+  golden.div_norm = parse_array(find_value(doc, "div_norm"));
+  golden.cum_div_norm = parse_array(find_value(doc, "cum_div_norm"));
+  return golden;
+}
+
+/// Diff `actual` against `golden`. Returns true on match; on mismatch,
+/// fills `diff` with one row per offending metric (step, expected,
+/// actual, relative error, bound) so the failure is a readable table
+/// instead of a wall of EXPECT output.
+inline bool compare_golden(const GoldenTrajectory& golden,
+                           const GoldenTrajectory& actual,
+                           const GoldenTolerances& tol, util::Table* diff) {
+  using golden_detail::fmt_double;
+  using golden_detail::rel_diff;
+  bool ok = true;
+  auto row = [&](const std::string& metric, int step, double expected,
+                 double got, double rel, double bound) {
+    ok = false;
+    diff->add_row({metric, step < 0 ? std::string("-") : std::to_string(step),
+                   fmt_double(expected), fmt_double(got),
+                   util::fmt_sci(rel, 2), util::fmt_sci(bound, 2)});
+  };
+
+  if (golden.steps != actual.steps ||
+      golden.div_norm.size() != actual.div_norm.size() ||
+      golden.cum_div_norm.size() != actual.cum_div_norm.size()) {
+    row("steps", -1, golden.steps, actual.steps, 0.0, 0.0);
+    return false;
+  }
+  for (std::size_t i = 0; i < golden.div_norm.size(); ++i) {
+    const double rel =
+        rel_diff(golden.div_norm[i], actual.div_norm[i], tol.abs_floor);
+    if (rel > tol.div_norm_rel) {
+      row("div_norm", static_cast<int>(i), golden.div_norm[i],
+          actual.div_norm[i], rel, tol.div_norm_rel);
+    }
+  }
+  for (std::size_t i = 0; i < golden.cum_div_norm.size(); ++i) {
+    const double rel = rel_diff(golden.cum_div_norm[i],
+                                actual.cum_div_norm[i], tol.abs_floor);
+    if (rel > tol.cum_div_norm_rel) {
+      row("cum_div_norm", static_cast<int>(i), golden.cum_div_norm[i],
+          actual.cum_div_norm[i], rel, tol.cum_div_norm_rel);
+    }
+  }
+  const double qloss_rel =
+      rel_diff(golden.final_qloss, actual.final_qloss, tol.abs_floor);
+  if (qloss_rel > tol.qloss_rel) {
+    row("final_qloss", -1, golden.final_qloss, actual.final_qloss,
+        qloss_rel, tol.qloss_rel);
+  }
+  return ok;
+}
+
+/// Fresh diff table matching compare_golden's row shape.
+inline util::Table make_diff_table() {
+  return util::Table(
+      {"Metric", "Step", "Expected", "Actual", "RelErr", "Bound"});
+}
+
+}  // namespace sfn::test

@@ -1,0 +1,111 @@
+#pragma once
+
+// Shared fixtures for the serving test layer (determinism, stress,
+// golden): small seeded synthetic artifacts that make multi-session runs
+// cheap and bit-reproducible. The networks carry freshly initialised
+// (untrained) weights — their near-trivial pressure answers keep the
+// relative residual around 1, safely below the guard's accept threshold,
+// so synthetic sessions never trip the health guard organically; tests
+// that want trips inject them through SessionConfig::solver_decorator.
+
+#include "core/offline.hpp"
+#include "core/session.hpp"
+#include "modelgen/arch_spec.hpp"
+#include "util/rng.hpp"
+#include "workload/problems.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sfn::test {
+
+/// One small (2-conv-stage) surrogate with seeded random weights.
+/// `mean_quality` / `mean_seconds` position it on the candidate ladder.
+inline core::TrainedModel make_test_model(std::uint64_t seed,
+                                          std::string name,
+                                          std::size_t model_id,
+                                          double mean_quality,
+                                          double mean_seconds) {
+  modelgen::ArchSpec spec;
+  spec.stages.resize(2);
+  spec.stages[0].kernel = 3;
+  spec.stages[0].channels = 6;
+  spec.stages[1].kernel = 3;
+  spec.stages[1].channels = 4;
+  spec.name = std::move(name);
+  util::Rng rng(seed);
+
+  core::TrainedModel model;
+  model.spec = spec;
+  model.net = modelgen::build_network(spec, rng);
+  model.origin = "serve-test";
+  model.mean_quality = mean_quality;
+  model.mean_seconds = mean_seconds;
+  model.records.model_id = model_id;
+  return model;
+}
+
+/// Synthetic OfflineArtifacts: two candidates, a benign KNN database
+/// (every prediction lands far below the loose requirement, so the
+/// controller's decisions depend only on the deterministic telemetry) and
+/// no MLP predictor (run_adaptive reads probabilities from `scores`).
+inline core::OfflineArtifacts make_test_artifacts(std::uint64_t seed = 41) {
+  core::OfflineArtifacts artifacts;
+  artifacts.library.models.push_back(
+      make_test_model(seed, "serve-fast", 0, /*quality=*/0.020,
+                      /*seconds=*/0.010));
+  artifacts.library.models.push_back(
+      make_test_model(seed + 1, "serve-accurate", 1, /*quality=*/0.010,
+                      /*seconds=*/0.020));
+  artifacts.pareto_ids = {0, 1};
+  artifacts.selected_ids = {0, 1};
+
+  quality::CandidateScore fast;
+  fast.model_id = 0;
+  fast.success_probability = 0.9;
+  fast.model_seconds = 0.010;
+  fast.selected = true;
+  quality::CandidateScore accurate = fast;
+  accurate.model_id = 1;
+  accurate.success_probability = 0.6;
+  accurate.model_seconds = 0.020;
+  artifacts.scores = {fast, accurate};
+
+  for (int i = 0; i < 16; ++i) {
+    artifacts.quality_db.add(/*cum_div_norm_final=*/0.5 * i,
+                             /*quality_loss=*/0.010 + 1e-4 * i);
+  }
+  artifacts.pcg_mean_seconds = 1.0;
+  artifacts.requirement = {/*quality_loss=*/0.5, /*seconds=*/60.0};
+  return artifacts;
+}
+
+/// Deterministic small problem (16x16 keeps multi-session suites fast).
+inline workload::InputProblem make_test_problem(std::uint64_t seed,
+                                                int grid = 16,
+                                                int steps = 12) {
+  workload::ProblemSetParams params;
+  params.grid = grid;
+  params.steps = steps;
+  return workload::generate_problems(1, params, seed)[0];
+}
+
+/// The three canonical problems whose trajectories are pinned under
+/// tests/golden/. Shared between golden_test (record/check) and
+/// persistence_test (loaded artifacts must reproduce the same baseline),
+/// always simulated with make_test_artifacts().library[0].
+struct GoldenCase {
+  std::string name;
+  workload::InputProblem problem;
+};
+
+inline std::vector<GoldenCase> canonical_golden_cases() {
+  return {
+      {"plume16", make_test_problem(101, /*grid=*/16, /*steps=*/24)},
+      {"plume24", make_test_problem(202, /*grid=*/24, /*steps=*/24)},
+      {"plume32", make_test_problem(303, /*grid=*/32, /*steps=*/16)},
+  };
+}
+
+}  // namespace sfn::test

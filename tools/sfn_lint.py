@@ -32,11 +32,21 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         runtime::FallbackPolicy's, so fallback counts,
                         quarantine decisions and timing attribution stay
                         consistent (DESIGN.md §11).
+  R7 serve-isolation    src/serve/ must not name PcgSolver,
+                        ModelSwitchController or FallbackPolicy. The
+                        serving layer schedules sessions and coalesces
+                        their inference; every piece of mutable runtime
+                        state (controller, quarantine, fallback) is
+                        per-session and constructed inside run_adaptive /
+                        run_fixed — a serve-layer reference to any of them
+                        would be one session's state reaching another
+                        (DESIGN.md §12's isolation contract).
 
 Escape hatches are deliberate annotations, not config: append
 `// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
-`// sfn-lint: allow-print` (R5) or `// sfn-lint: allow-pcg` (R6) to the
-offending line, with a reason, and the rule skips it.
+`// sfn-lint: allow-print` (R5), `// sfn-lint: allow-pcg` (R6) or
+`// sfn-lint: allow-runtime-state` (R7) to the offending line, with a
+reason, and the rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -251,6 +261,33 @@ def rule_pcg_in_runtime(root: pathlib.Path) -> None:
 
 
 # --------------------------------------------------------------------------
+# R7: the serving layer never touches per-session runtime state.
+
+SERVE_ISOLATION_RE = re.compile(
+    r"\bPcgSolver\b|\bModelSwitchController\b|\bFallbackPolicy\b")
+
+
+def rule_serve_isolation(root: pathlib.Path) -> None:
+    serve = root / "src" / "serve"
+    if not serve.is_dir():
+        return
+    for path in sorted(serve.rglob("*.[ch]pp")):
+        for line_no, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if "sfn-lint: allow-runtime-state" in raw:
+                continue
+            if SERVE_ISOLATION_RE.search(strip_line_comment(raw)):
+                report(
+                    "serve-isolation", path.relative_to(root), line_no,
+                    "serve layer references per-session runtime state "
+                    "(PcgSolver/ModelSwitchController/FallbackPolicy); "
+                    "sessions own their controller, quarantine and exact "
+                    "solver — the server only schedules and batches (or "
+                    "annotate `// sfn-lint: allow-runtime-state` with a "
+                    "reason)")
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
@@ -294,6 +331,7 @@ def main() -> int:
     rule_bench_json(root)
     rule_raw_stdout(root)
     rule_pcg_in_runtime(root)
+    rule_serve_isolation(root)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
     else:

@@ -187,20 +187,40 @@ void Network::forward_batch(const std::vector<const Tensor*>& inputs,
     pending.push_back(pool.submit([this, &inputs, &outputs, t, workers] {
       // Cross-problem parallelism only: pin this worker's intra-op OpenMP
       // team to one thread so P workers do not each spawn a full team.
-      // Save/restore the thread ICV — pool workers are long-lived and go
-      // on to run other tasks (a served session's fluid kernels must not
-      // inherit a stale 1-thread pin).
-      const int prev_threads = omp_get_max_threads();
-      omp_set_num_threads(1);
+      // Save/restore the thread ICV via RAII — pool workers are long-lived
+      // and go on to run other tasks (a served session's fluid kernels must
+      // not inherit a stale 1-thread pin), and forward_inference can throw
+      // on a numeric-invariant trip, which would skip a trailing restore.
+      struct OmpThreadsGuard {
+        int prev;
+        explicit OmpThreadsGuard(int n) : prev(omp_get_max_threads()) {
+          omp_set_num_threads(n);
+        }
+        ~OmpThreadsGuard() { omp_set_num_threads(prev); }
+      } omp_guard(1);
       Workspace ws;
       for (std::size_t i = t; i < inputs.size(); i += workers) {
         outputs[i]->copy_from(forward_inference(*inputs[i], ws));
       }
-      omp_set_num_threads(prev_threads);
     }));
   }
+  // Join every worker before propagating any failure. Rethrowing mid-loop
+  // would abandon still-running workers (std::future's dtor does not block
+  // for packaged tasks) while the caller unwinds and frees `outputs` — a
+  // use-after-free — and the coalescer's per-request retry path would race
+  // them on the same tensors.
+  std::exception_ptr first_error;
   for (auto& f : pending) {
-    f.get();
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -214,16 +214,18 @@ void InferenceCoalescer::execute(const std::vector<Request*>& batch) {
 }
 
 void InferenceCoalescer::shutdown() {
+  // Claim the dispatcher thread under the lock so concurrent shutdown()
+  // calls cannot both observe it joinable and both join it (UB): exactly
+  // one caller moves it into a local; everyone else gets an empty thread.
+  std::thread dispatcher;
   {
     const std::lock_guard guard(mutex_);
-    if (stop_ && !dispatcher_.joinable()) {
-      return;
-    }
     stop_ = true;
+    dispatcher = std::move(dispatcher_);
   }
   arrival_cv_.notify_all();
-  if (dispatcher_.joinable()) {
-    dispatcher_.join();
+  if (dispatcher.joinable()) {
+    dispatcher.join();
   }
 }
 

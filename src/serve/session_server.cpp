@@ -185,8 +185,11 @@ core::SessionResult SessionServer::wait(JobId id) {
     throw std::invalid_argument("SessionServer::wait: job " +
                                 std::to_string(id) + " already redeemed");
   }
-  done_cv_.wait(lock, [&] { return job->done; });
+  // Claim the job BEFORE blocking: a second concurrent wait(id) must fail
+  // the check above rather than block on a Job* this waiter erases (and
+  // thereby frees) on wake-up.
   job->redeemed = true;
+  done_cv_.wait(lock, [&] { return job->done; });
   if (job->error) {
     std::exception_ptr error = job->error;
     jobs_.erase(it);

@@ -15,12 +15,16 @@
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
+#include "nn/kernels/isa.hpp"
 #include "nn/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 #include <benchmark/benchmark.h>
 #include <omp.h>
 
+#include <chrono>
+#include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -117,6 +121,63 @@ void BM_ConvIm2colGemm(benchmark::State& state) {
       benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_ConvIm2colGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvPacked(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  nn::Conv2D conv(16, 16, 3);
+  const nn::Tensor input = random_input(16, n, 11);
+  nn::Workspace ws;
+  nn::Tensor out;
+  conv.forward_packed_into(input, out, ws);  // Warm workspace + pack cache.
+  for (auto _ : state) {
+    conv.forward_packed_into(input, out, ws);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flops = 2.0 * 16 * 16 * 9 * n * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvPacked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvPackedBf16(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  nn::Conv2D conv(16, 16, 3);
+  const nn::Tensor input = random_input(16, n, 11);
+  nn::Workspace ws;
+  nn::Tensor out;
+  conv.forward_packed_into(input, out, ws, nn::Precision::kBf16);
+  for (auto _ : state) {
+    conv.forward_packed_into(input, out, ws, nn::Precision::kBf16);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flops = 2.0 * 16 * 16 * 9 * n * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvPackedBf16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvPackedInt8(benchmark::State& state) {
+  const SingleThreadScope st;
+  const int n = static_cast<int>(state.range(0));
+  nn::Conv2D conv(16, 16, 3);
+  const nn::Tensor input = random_input(16, n, 11);
+  nn::Workspace ws;
+  nn::Tensor out;
+  conv.forward_packed_into(input, out, ws, nn::Precision::kInt8);
+  for (auto _ : state) {
+    conv.forward_packed_into(input, out, ws, nn::Precision::kInt8);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flops = 2.0 * 16 * 16 * 9 * n * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvPackedInt8)->Arg(64)->Arg(128)->Arg(256);
 
 /// The GEMM micro-kernel alone at the conv-equivalent problem size:
 /// M = out_c, K = in_c * k * k, N = pixels.
@@ -252,12 +313,136 @@ void BM_DivNorm(benchmark::State& state) {
 }
 BENCHMARK(BM_DivNorm)->Arg(64)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// Structured per-ISA / per-algo conv sweep (DESIGN.md §13). Unlike the
+// google-benchmark registrations above (which run under whatever ISA the
+// host detects), this sweep pins the kernel ISA explicitly so the scalar
+// reference and the SIMD microkernels are measured side by side in one
+// run, and mirrors the algo × grid × GFLOP/s table into BENCH_kernels.json
+// with the detected ISA recorded as provenance.
+
+/// Median-of-repeats seconds per call; each repeat batches enough calls to
+/// clear timer noise.
+double time_kernel(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // Warm caches, workspace, pack.
+  int batch = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    const double elapsed = std::chrono::duration<double>(clock::now() - t0)
+                               .count();
+    if (elapsed > 0.025) {
+      return elapsed / batch;
+    }
+    batch *= 2;
+  }
+}
+
+struct SweepRow {
+  std::string algo;
+  std::string isa;
+  int grid = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+std::vector<SweepRow> run_conv_sweep() {
+  using nn::kernels::Isa;
+  const SingleThreadScope st;
+  std::vector<SweepRow> rows;
+  const int grids[] = {64, 128, 256};
+
+  std::vector<Isa> isas = {Isa::kScalar};
+  if (nn::kernels::detected_isa() != Isa::kScalar) {
+    isas.push_back(nn::kernels::detected_isa());
+  }
+
+  for (const int n : grids) {
+    nn::Conv2D conv(16, 16, 3);
+    const nn::Tensor input = random_input(16, n, 11);
+    nn::Workspace ws;
+    nn::Tensor out;
+    const double flops = 2.0 * 16 * 16 * 9 * n * n;
+    const auto push = [&](const std::string& algo, const std::string& isa,
+                          double sec) {
+      rows.push_back({algo, isa, n, sec, flops / sec / 1e9});
+    };
+
+    // ISA-independent baselines (scalar C++, auto-vectorised by the
+    // compiler the same way regardless of the kernel-ISA override).
+    push("naive", "any",
+         time_kernel([&] { conv.forward_naive_into(input, out); }));
+    push("im2col_gemm", "any",
+         time_kernel([&] { conv.forward_gemm_into(input, out, ws); }));
+
+    for (const Isa isa : isas) {
+      nn::kernels::set_isa_override(isa);
+      const std::string name = nn::kernels::isa_name(isa);
+      push("packed_f32", name, time_kernel([&] {
+             conv.forward_packed_into(input, out, ws);
+           }));
+      push("packed_bf16", name, time_kernel([&] {
+             conv.forward_packed_into(input, out, ws, nn::Precision::kBf16);
+           }));
+      push("packed_int8", name, time_kernel([&] {
+             conv.forward_packed_into(input, out, ws, nn::Precision::kInt8);
+           }));
+    }
+    nn::kernels::reset_isa_override();
+  }
+  return rows;
+}
+
+void report_conv_sweep(const util::BenchConfig& cfg) {
+  const auto rows = run_conv_sweep();
+
+  util::Table table({"algo", "isa", "grid", "ms_per_conv", "gflops"});
+  std::map<int, double> gemm_gflops;
+  std::map<int, double> best_packed_gflops;
+  for (const auto& r : rows) {
+    table.add_row({r.algo, r.isa, std::to_string(r.grid),
+                   util::fmt(r.seconds * 1e3, 4), util::fmt(r.gflops, 3)});
+    if (r.algo == "im2col_gemm") {
+      gemm_gflops[r.grid] = r.gflops;
+    }
+    if (r.algo == "packed_f32" && r.gflops > best_packed_gflops[r.grid]) {
+      best_packed_gflops[r.grid] = r.gflops;
+    }
+  }
+  table.print("Conv 16->16 3x3, per-algo / per-ISA (single thread)");
+
+  // The acceptance ratio for this PR: packed f32 vs the blocked GEMM at
+  // each grid, on the best ISA the host offers.
+  util::Table speedup({"grid", "gemm_gflops", "packed_gflops",
+                       "speedup_packed_vs_gemm"});
+  for (const auto& [grid, packed] : best_packed_gflops) {
+    const double gemm = gemm_gflops[grid];
+    speedup.add_row({std::to_string(grid), util::fmt(gemm, 3),
+                     util::fmt(packed, 3),
+                     util::fmt(gemm > 0.0 ? packed / gemm : 0.0, 2)});
+  }
+  speedup.print("Packed microkernel speedup over blocked GEMM");
+
+  util::Table provenance({"detected_isa", "active_isa", "omp_max_threads"});
+  provenance.add_row({nn::kernels::isa_name(nn::kernels::detected_isa()),
+                      nn::kernels::isa_name(nn::kernels::active_isa()),
+                      std::to_string(omp_get_max_threads())});
+
+  bench::write_json("BENCH_kernels.json", cfg,
+                    {{"conv_algos", &table},
+                     {"speedup", &speedup},
+                     {"provenance", &provenance}});
+}
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): mirror the console report into
-// machine-readable BENCH_kernels.json (unless the caller already asked for
-// a --benchmark_out file) so the naive-vs-GEMM comparison can be checked by
-// scripts and tracked across commits without re-parsing formatted tables.
+// Custom main instead of BENCHMARK_MAIN(): run the google-benchmark suite
+// (raw JSON mirrored to BENCH_kernels_gbench.json unless the caller asked
+// for a --benchmark_out file), then the pinned-ISA conv sweep whose
+// structured algo × grid × GFLOP/s table lands in BENCH_kernels.json so
+// the packed-vs-GEMM comparison can be checked by scripts and tracked
+// across commits without re-parsing formatted tables.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -266,7 +451,7 @@ int main(int argc, char** argv) {
       has_out = true;
     }
   }
-  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string out_flag = "--benchmark_out=BENCH_kernels_gbench.json";
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());
@@ -278,6 +463,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+
+  const sfn::util::BenchConfig cfg =
+      sfn::util::BenchConfig::from_args(argc, argv);
+  report_conv_sweep(cfg);
+
   benchmark::Shutdown();
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/offline.hpp"
 
 #include "core/neural_projection.hpp"
+#include "core/quant_admission.hpp"
 #include "stats/pareto.hpp"
 
 #include <algorithm>
@@ -218,6 +219,13 @@ OfflineArtifacts run_offline_pipeline(const OfflineConfig& config,
     }
     artifacts.selected_ids.push_back(artifacts.pareto_ids[best]);
   }
+
+  // --- Quantized candidate admission (DESIGN.md §13) ------------------------
+  // Runs before the KNN-database build so admitted clones contribute
+  // database entries like every other runtime candidate. Off by default
+  // (SFN_QUANT_CANDIDATES=on opts in).
+  admit_quantized_candidates(&artifacts, eval_problems, references,
+                             QuantAdmissionParams::from_env());
 
   // --- KNN quality database (paper §6.1) ------------------------------------
   workload::ProblemSetParams db_params = train_params;

@@ -7,12 +7,15 @@
 namespace sfn::core {
 
 static constexpr std::int32_t kArtifactMagic = 0x53464152;  // "SFAR"
-static constexpr std::int32_t kArtifactVersion = 1;
+// v2: ArchSpec gained an execution-precision field (quantized candidates,
+// DESIGN.md §13). No v1 artifacts are shipped, so load rejects them.
+static constexpr std::int32_t kArtifactVersion = 2;
 
 void save_spec(const modelgen::ArchSpec& spec, std::ostream& out) {
   using namespace nn::io;
   write_i32(out, spec.in_channels);
   write_i32(out, spec.out_channels);
+  write_i32(out, static_cast<std::int32_t>(spec.precision));
   write_string(out, spec.name);
   write_i32(out, static_cast<std::int32_t>(spec.stages.size()));
   for (const auto& s : spec.stages) {
@@ -32,6 +35,12 @@ modelgen::ArchSpec load_spec(std::istream& in) {
   modelgen::ArchSpec spec;
   spec.in_channels = read_i32(in);
   spec.out_channels = read_i32(in);
+  const std::int32_t prec = read_i32(in);
+  if (prec < 0 || prec >= nn::kNumPrecisions) {
+    throw std::runtime_error("load_spec: invalid precision tag " +
+                             std::to_string(prec));
+  }
+  spec.precision = static_cast<nn::Precision>(prec);
   spec.name = read_string(in);
   const int stages = read_i32(in);
   spec.stages.resize(static_cast<std::size_t>(stages));
@@ -188,6 +197,11 @@ OfflineArtifacts load_artifacts(const std::filesystem::path& dir) {
     TrainedModel model;
     model.spec = load_spec(in);
     model.net = nn::Network::load(in);
+    // Build packed weights now, not on the first inference request: load
+    // is the one place every serving/session path funnels through, and a
+    // cold pack inside a latency-sensitive step would show up as a
+    // first-call spike (see Network::prepack_for_inference).
+    model.net.prepack_for_inference();
     model.origin = read_string(in);
     model.train_loss = read_f64(in);
     model.mean_seconds = read_f64(in);

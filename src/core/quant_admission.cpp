@@ -1,0 +1,91 @@
+#include "core/quant_admission.hpp"
+
+#include "modelgen/transform_ops.hpp"
+#include "obs/metrics.hpp"
+#include "quality/selector.hpp"
+#include "util/config.hpp"
+
+namespace sfn::core {
+
+QuantAdmissionParams QuantAdmissionParams::from_env() {
+  QuantAdmissionParams params;
+  params.enabled =
+      util::env_choice("SFN_QUANT_CANDIDATES", {"on", "off"}, "off") == "on";
+  params.max_extra_qloss =
+      util::env_double("SFN_QUANT_MAX_QLOSS", params.max_extra_qloss);
+  return params;
+}
+
+QuantAdmissionReport admit_quantized_candidates(
+    OfflineArtifacts* artifacts,
+    const std::vector<workload::InputProblem>& problems,
+    const std::vector<workload::RunResult>& references,
+    const QuantAdmissionParams& params) {
+  QuantAdmissionReport report;
+  if (!params.enabled) {
+    return report;
+  }
+  static obs::Counter& admitted_counter = obs::counter("quant.admitted");
+  static obs::Counter& rejected_counter = obs::counter("quant.rejected");
+
+  // Snapshot: admission appends to selected_ids, and quantizing a
+  // quantized clone is not meaningful.
+  const std::vector<std::size_t> parent_ids = artifacts->selected_ids;
+  for (const std::size_t parent_id : parent_ids) {
+    for (const nn::Precision precision : params.precisions) {
+      // Capture parent fields by value up front: pushing the clone into
+      // the library reallocates the model vector.
+      const double parent_quality = artifacts->library[parent_id].mean_quality;
+      double parent_probability = 0.5;
+      for (std::size_t s = 0; s < artifacts->scores.size(); ++s) {
+        if (artifacts->pareto_ids[s] == parent_id) {
+          parent_probability = artifacts->scores[s].success_probability;
+          break;
+        }
+      }
+
+      TrainedModel clone;
+      clone.spec =
+          modelgen::quantize(artifacts->library[parent_id].spec, precision);
+      clone.net = artifacts->library[parent_id].net;  // Deep weight copy.
+      modelgen::set_network_precision(&clone.net, precision);
+      clone.origin =
+          "quantize(" + artifacts->library[parent_id].spec.name + ")";
+      clone.train_loss = artifacts->library[parent_id].train_loss;
+      clone.records.model_id = artifacts->library.size();
+      measure_model(&clone, problems, references);
+
+      const double extra_qloss = clone.mean_quality - parent_quality;
+      if (!(extra_qloss <= params.max_extra_qloss)) {
+        // NaN-hostile comparison: a clone whose measurement went numeric
+        // (NaN Qloss) must never pass the gate.
+        ++report.rejected;
+        rejected_counter.add();
+        continue;
+      }
+
+      // Admit: the clone becomes a first-class candidate. Probability is
+      // inherited from the parent (identical Eq. 6 features mean the MLP
+      // would score it identically); expected time is re-derived from the
+      // clone's own measured speed via Eq. 8.
+      quality::CandidateScore score;
+      score.model_id = artifacts->pareto_ids.size();  // Pareto-set index.
+      score.success_probability = parent_probability;
+      score.model_seconds = clone.mean_seconds;
+      score.expected_seconds = quality::expected_total_seconds(
+          parent_probability, clone.mean_seconds, artifacts->pcg_mean_seconds);
+      score.selected = true;
+
+      const std::size_t clone_id = artifacts->library.size();
+      artifacts->library.models.push_back(std::move(clone));
+      artifacts->pareto_ids.push_back(clone_id);
+      artifacts->scores.push_back(score);
+      artifacts->selected_ids.push_back(clone_id);
+      ++report.admitted;
+      admitted_counter.add();
+    }
+  }
+  return report;
+}
+
+}  // namespace sfn::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/offline.hpp"
+#include "nn/precision.hpp"
+
+#include <vector>
+
+namespace sfn::core {
+
+/// Quality gate for quantized inference candidates (DESIGN.md §13).
+///
+/// Quantization is the one model transformation that needs no retraining:
+/// a selected float model is cloned, its convs are retargeted to a
+/// reduced-precision kernel (nn/kernels), and the clone is measured with
+/// the same quality pipeline as every other candidate. Because the
+/// architecture — and so the Eq. 6 feature vector — is unchanged, the MLP
+/// cannot distinguish clone from parent; admission is therefore gated on
+/// *measured* quality instead: the clone joins the runtime set only when
+/// its mean Qloss exceeds its float parent's by at most `max_extra_qloss`.
+struct QuantAdmissionParams {
+  /// Master switch (SFN_QUANT_CANDIDATES=on|off, default off): quantized
+  /// admission perturbs the candidate ladder, so sessions opt in.
+  bool enabled = false;
+  /// Gate threshold (SFN_QUANT_MAX_QLOSS): maximum admissible increase in
+  /// mean quality loss over the float parent, in absolute Qloss units.
+  double max_extra_qloss = 0.005;
+  /// Precisions attempted per parent, each measured independently.
+  std::vector<nn::Precision> precisions = {nn::Precision::kBf16,
+                                           nn::Precision::kInt8};
+
+  static QuantAdmissionParams from_env();
+};
+
+struct QuantAdmissionReport {
+  int admitted = 0;
+  int rejected = 0;
+};
+
+/// Clone every selected model at each requested precision, measure the
+/// clones over `problems`/`references` (the same evaluation set the
+/// parents were measured on), and admit gate-passing clones into the
+/// artifact set: library, Pareto front, scores (success probability
+/// inherited from the parent — same architecture, same features) and
+/// selected_ids, keeping pareto_ids/scores index-aligned as
+/// make_runtime_candidates requires. Called between Eq. 8 selection and
+/// the KNN-database build so admitted clones contribute database entries
+/// like any other runtime candidate.
+QuantAdmissionReport admit_quantized_candidates(
+    OfflineArtifacts* artifacts,
+    const std::vector<workload::InputProblem>& problems,
+    const std::vector<workload::RunResult>& references,
+    const QuantAdmissionParams& params);
+
+}  // namespace sfn::core

@@ -2,7 +2,10 @@
 
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
+#include "nn/kernels/microkernel.hpp"
+#include "nn/kernels/packed_conv.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "util/config.hpp"
 
 #include <algorithm>
@@ -17,9 +20,15 @@ namespace {
 
 ConvAlgo parse_env_algo() {
   const std::string v = util::env_choice(
-      "SFN_CONV_ALGO", {"auto", "naive", "0", "gemm", "im2col", "1"}, "auto");
+      "SFN_CONV_ALGO",
+      {"auto", "naive", "0", "gemm", "im2col", "1", "packed", "simd", "2",
+       "bf16", "int8"},
+      "auto");
   if (v == "naive" || v == "0") return ConvAlgo::kNaive;
   if (v == "gemm" || v == "im2col" || v == "1") return ConvAlgo::kIm2colGemm;
+  if (v == "packed" || v == "simd" || v == "2") return ConvAlgo::kPacked;
+  if (v == "bf16") return ConvAlgo::kBf16;
+  if (v == "int8") return ConvAlgo::kInt8;
   return ConvAlgo::kAuto;
 }
 
@@ -76,6 +85,7 @@ void Conv2D::init_weights(util::Rng& rng) {
   for (auto& b : bias_) {
     b = 0.0f;
   }
+  bump_revision();
 }
 
 Shape Conv2D::output_shape(const Shape& input) const {
@@ -95,21 +105,41 @@ std::uint64_t Conv2D::flops(const Shape& input) const {
 }
 
 ConvAlgo Conv2D::choose_algo(const Shape& input) const {
+  // A quantized layer executes quantized unconditionally: the process-wide
+  // override must not detach a Pareto candidate from its measured quality
+  // loss (see conv_algo_override's contract).
+  if (precision_ == Precision::kInt8) return ConvAlgo::kInt8;
+  if (precision_ == Precision::kBf16) return ConvAlgo::kBf16;
   const ConvAlgo forced = conv_algo_override();
   if (forced != ConvAlgo::kAuto) {
     return forced;
   }
-  // im2col + GEMM wins once the GEMM inner dimension (taps x channels) is
-  // wide enough to amortise the packing pass over a non-trivial image;
-  // below that the per-tap loop's lower setup cost wins (e.g. the first
-  // 2-channel 3x3 layer on a tiny validation grid, or 1x1 bottlenecks
-  // with very few channels).
+  // Column-matrix kernels win once the GEMM inner dimension (taps x
+  // channels) is wide enough to amortise the packing pass over a
+  // non-trivial image; below that the per-tap loop's lower setup cost wins
+  // (e.g. the first 2-channel 3x3 layer on a tiny validation grid, or 1x1
+  // bottlenecks with very few channels). Among the column kernels the
+  // packed microkernel path is preferred; very narrow outputs (the final
+  // linear conv) would waste most of its kMr-row panel, so they keep the
+  // strip GEMM, which pads nothing.
   const std::size_t gemm_k =
       static_cast<std::size_t>(in_c_) * k_ * k_;
   const std::size_t pixels =
       static_cast<std::size_t>(input.h) * input.w;
-  return (gemm_k >= 16 && pixels >= 256) ? ConvAlgo::kIm2colGemm
-                                         : ConvAlgo::kNaive;
+  if (gemm_k < 16 || pixels < 256) return ConvAlgo::kNaive;
+  if (out_c_ <= kernels::kMr / 2) return ConvAlgo::kIm2colGemm;
+  return ConvAlgo::kPacked;
+}
+
+bool Conv2D::fuses_relu(const Shape& input) const {
+  switch (choose_algo(input)) {
+    case ConvAlgo::kPacked:
+    case ConvAlgo::kBf16:
+    case ConvAlgo::kInt8:
+      return true;
+    default:
+      return false;
+  }
 }
 
 void Conv2D::forward_naive_into(const Tensor& input, Tensor& out) const {
@@ -217,25 +247,122 @@ void Conv2D::forward_gemm_into(const Tensor& input, Tensor& out,
   }
 }
 
+std::shared_ptr<const kernels::PackedConvWeights> Conv2D::packed(
+    Precision p) const {
+  const auto idx = static_cast<std::size_t>(p);
+  auto snapshot = packed_cache_[idx].load(std::memory_order_acquire);
+  if (snapshot &&
+      snapshot->revision == weights_revision_.load(std::memory_order_acquire)) {
+    return snapshot;
+  }
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  // Re-read the revision *before* re-checking the cache: if a mutation
+  // lands after this load the pack we build is stale by construction, but
+  // its recorded revision is stale too, so the next dispatch rebuilds.
+  const std::uint64_t rev = weights_revision_.load(std::memory_order_acquire);
+  snapshot = packed_cache_[idx].load(std::memory_order_acquire);
+  if (snapshot && snapshot->revision == rev) {
+    return snapshot;
+  }
+  if (snapshot) {
+    obs::counter("nn.conv.repacks").add(1);
+  }
+  auto fresh = std::make_shared<const kernels::PackedConvWeights>(
+      kernels::pack_conv_weights(weights_.data(), bias_.data(), out_c_,
+                                 in_c_ * k_ * k_, p, rev));
+  packed_cache_[idx].store(fresh, std::memory_order_release);
+  return fresh;
+}
+
+void Conv2D::forward_packed_into(const Tensor& input, Tensor& output,
+                                 Workspace& ws, Precision precision,
+                                 bool fuse_relu) const {
+  const Shape in_shape = input.shape();
+  output.resize(output_shape(in_shape));
+  const auto pw = packed(precision);
+  kernels::ConvArgs args;
+  args.in_c = in_c_;
+  args.out_c = out_c_;
+  args.k = k_;
+  args.h = in_shape.h;
+  args.w = in_shape.w;
+  args.residual = residual_;
+  args.relu = fuse_relu;
+  args.in = input.data().data();
+  args.out = output.data().data();
+  kernels::packed_conv_forward(*pw, args, ws);
+}
+
+void Conv2D::forward_into_fused(const Tensor& input, Tensor& output,
+                                Workspace& ws, bool fuse_relu) const {
+  // Per-algo dispatch counters: cheap relaxed atomics that let BENCH/obs
+  // tables attribute inference time to the kernel family actually run.
+  static obs::Counter& naive_calls = obs::counter("nn.conv.naive_calls");
+  static obs::Counter& gemm_calls = obs::counter("nn.conv.gemm_calls");
+  static obs::Counter& packed_calls = obs::counter("nn.conv.packed_calls");
+  static obs::Counter& bf16_calls = obs::counter("nn.conv.bf16_calls");
+  static obs::Counter& int8_calls = obs::counter("nn.conv.int8_calls");
+  static obs::Counter& fused_calls = obs::counter("nn.conv.fused_relu_calls");
+
+  const ConvAlgo algo = choose_algo(input.shape());
+  bool fused = false;
+  switch (algo) {
+    case ConvAlgo::kPacked:
+      packed_calls.add(1);
+      forward_packed_into(input, output, ws, Precision::kFloat32, fuse_relu);
+      fused = fuse_relu;
+      break;
+    case ConvAlgo::kBf16:
+      bf16_calls.add(1);
+      forward_packed_into(input, output, ws, Precision::kBf16, fuse_relu);
+      fused = fuse_relu;
+      break;
+    case ConvAlgo::kInt8:
+      int8_calls.add(1);
+      forward_packed_into(input, output, ws, Precision::kInt8, fuse_relu);
+      fused = fuse_relu;
+      break;
+    case ConvAlgo::kIm2colGemm:
+      gemm_calls.add(1);
+      forward_gemm_into(input, output, ws);
+      break;
+    default:
+      naive_calls.add(1);
+      forward_naive_into(input, output);
+      break;
+  }
+  if (fused) {
+    fused_calls.add(1);
+  }
+  if (fuse_relu && !fused) {
+    // The caller elided a ReLU layer but the chosen algorithm has no fused
+    // epilogue (e.g. the override flipped to naive between the fusion
+    // decision and this dispatch): apply it explicitly so the contract
+    // "output is post-activation" holds for every algorithm.
+    float* dst = output.data().data();
+    const auto n = static_cast<std::ptrdiff_t>(output.numel());
+#pragma omp parallel for simd schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+    }
+  }
+}
+
 void Conv2D::forward_into(const Tensor& input, Tensor& output,
                           Workspace& ws) const {
-  if (choose_algo(input.shape()) == ConvAlgo::kIm2colGemm) {
-    forward_gemm_into(input, output, ws);
-  } else {
-    forward_naive_into(input, output);
-  }
+  forward_into_fused(input, output, ws, /*fuse_relu=*/false);
 }
 
 Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
   cached_input_ = input;
   Tensor out;
-  if (choose_algo(input.shape()) == ConvAlgo::kIm2colGemm) {
+  if (choose_algo(input.shape()) == ConvAlgo::kNaive) {
+    forward_naive_into(input, out);
+  } else {
     if (!own_ws_) {
       own_ws_ = std::make_unique<Workspace>();
     }
-    forward_gemm_into(input, out, *own_ws_);
-  } else {
-    forward_naive_into(input, out);
+    forward_into_fused(input, out, *own_ws_, /*fuse_relu=*/false);
   }
   return out;
 }
@@ -337,6 +464,9 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
 }
 
 std::vector<ParamView> Conv2D::params() {
+  // Handing out mutable spans is a weight-mutation route (the optimizer
+  // writes through them), so invalidate any cached packs.
+  bump_revision();
   return {ParamView{weights_, weight_grads_},
           ParamView{bias_, bias_grads_}};
 }
@@ -345,6 +475,7 @@ std::unique_ptr<Layer> Conv2D::clone() const {
   auto copy = std::make_unique<Conv2D>(in_c_, out_c_, k_, residual_);
   copy->weights_ = weights_;
   copy->bias_ = bias_;
+  copy->precision_ = precision_;
   return copy;
 }
 
@@ -352,6 +483,9 @@ std::string Conv2D::describe() const {
   std::ostringstream out;
   out << (residual_ ? "ResConv2D(" : "Conv2D(") << in_c_ << "->" << out_c_
       << ", k" << k_ << ")";
+  if (precision_ != Precision::kFloat32) {
+    out << "[" << precision_name(precision_) << "]";
+  }
   return out.str();
 }
 
@@ -360,6 +494,7 @@ void Conv2D::save(std::ostream& out) const {
   io::write_i32(out, out_c_);
   io::write_i32(out, k_);
   io::write_i32(out, residual_ ? 1 : 0);
+  io::write_i32(out, static_cast<std::int32_t>(precision_));
   io::write_floats(out, weights_);
   io::write_floats(out, bias_);
 }
@@ -369,9 +504,15 @@ void Conv2D::load(std::istream& in) {
   const int oc = io::read_i32(in);
   const int k = io::read_i32(in);
   const int res = io::read_i32(in);
+  const int prec = io::read_i32(in);
   if (ic != in_c_ || oc != out_c_ || k != k_ || (res != 0) != residual_) {
     throw std::runtime_error("Conv2D::load: configuration mismatch");
   }
+  if (prec < 0 || prec >= kNumPrecisions) {
+    throw std::runtime_error("Conv2D::load: bad precision field");
+  }
+  precision_ = static_cast<Precision>(prec);
+  bump_revision();
   io::read_floats(in, weights_);
   io::read_floats(in, bias_);
 }

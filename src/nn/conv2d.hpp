@@ -1,8 +1,13 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "nn/kernels/pack.hpp"
+#include "nn/precision.hpp"
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace sfn::nn {
@@ -12,19 +17,28 @@ enum class ConvAlgo {
   kAuto,        ///< Per-shape heuristic (the default).
   kNaive,       ///< Per-tap shift-and-accumulate.
   kIm2colGemm,  ///< im2col packing + blocked SGEMM (nn/gemm.hpp).
+  kPacked,      ///< Pre-packed weights + SIMD microkernels (nn/kernels/).
+  kBf16,        ///< Packed path with bfloat16 weights.
+  kInt8,        ///< Packed path, int8 weights + dynamic int8 activations.
 };
 
 /// Process-wide algorithm override. Defaults to the SFN_CONV_ALGO
-/// environment variable ("naive", "gemm"/"im2col", or "auto", parsed via
-/// util::env_choice); kAuto defers to each layer's shape heuristic.
-/// Benches flip this to compare both paths in one process.
+/// environment variable ("naive", "gemm"/"im2col", "packed"/"simd",
+/// "bf16", "int8", or "auto", parsed via util::env_choice); kAuto defers
+/// to each layer's shape heuristic.
 ///
 /// Thread safety: the override is an atomic with release/acquire
 /// ordering, so set_conv_algo_override may be called while inference
 /// (including Network::forward_batch) is running concurrently. Each conv
-/// dispatch observes either the old or the new value; both kernels agree
-/// to ≤1e-5 relative tolerance (DESIGN.md §8), so a mid-batch flip
+/// dispatch observes either the old or the new value; the float kernels
+/// agree to ≤1e-5 relative tolerance and the packed cache is revision
+/// checked on every dispatch (DESIGN.md §8, §13), so a mid-batch flip
 /// changes speed, never correctness.
+///
+/// A layer whose Precision is not kFloat32 always executes quantized —
+/// the override selects among float kernels only. Otherwise flipping the
+/// env var would silently run a quantized Pareto candidate at full
+/// precision, detaching it from its measured quality loss.
 [[nodiscard]] ConvAlgo conv_algo_override();
 void set_conv_algo_override(ConvAlgo algo);
 
@@ -56,39 +70,88 @@ class Conv2D final : public Layer {
   [[nodiscard]] int kernel() const { return k_; }
   [[nodiscard]] bool residual() const { return residual_; }
 
+  /// Inference execution precision (serialized; copied by clone). Weights
+  /// always stay fp32 in memory — precision only selects how they are
+  /// packed and executed, so transforms and (re)training are unaffected.
+  [[nodiscard]] Precision precision() const { return precision_; }
+  void set_precision(Precision p) { precision_ = p; }
+
   /// Weight at (out channel, in channel, ky, kx); exposed for tests and
   /// for the `narrow` transformation, which copies surviving channels.
+  /// Non-const access bumps the weight revision so cached packed weights
+  /// are rebuilt on the next packed dispatch.
   float& weight(int oc, int ic, int ky, int kx) {
+    bump_revision();
     return weights_[((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + ky) *
                         k_ +
                     kx];
   }
-  float& bias(int oc) { return bias_[oc]; }
+  float& bias(int oc) {
+    bump_revision();
+    return bias_[oc];
+  }
 
   /// Which algorithm `forward`/`forward_into` would pick for this input
-  /// shape after applying the process-wide override.
+  /// shape after applying the process-wide override and the layer's
+  /// precision.
   [[nodiscard]] ConvAlgo choose_algo(const Shape& input) const;
 
+  /// True when choose_algo lands on a kernel family with a fused ReLU
+  /// epilogue; Network::forward_inference uses this to elide a following
+  /// ReLU layer's pass over the output.
+  [[nodiscard]] bool fuses_relu(const Shape& input) const;
+
   /// Explicit-algorithm entry points, exposed for parity tests and the
-  /// micro-kernel benchmarks. Both compute the full layer (bias + taps +
+  /// micro-kernel benchmarks. All compute the full layer (bias + taps +
   /// residual) without touching cached training state.
   void forward_naive_into(const Tensor& input, Tensor& output) const;
   void forward_gemm_into(const Tensor& input, Tensor& output,
                          Workspace& ws) const;
+  void forward_packed_into(const Tensor& input, Tensor& output, Workspace& ws,
+                           Precision precision = Precision::kFloat32,
+                           bool fuse_relu = false) const;
+
+  /// forward_into plus the fused epilogue decision: when `fuse_relu` and
+  /// the chosen algorithm supports it, ReLU happens in-register before the
+  /// store; otherwise an explicit ReLU pass follows, so the result is the
+  /// same either way.
+  void forward_into_fused(const Tensor& input, Tensor& output, Workspace& ws,
+                          bool fuse_relu) const;
+
+  /// Packed-weight snapshot for `p`, (re)built if missing or stale against
+  /// the current weight revision. Thread-safe on a shared const layer:
+  /// lock-free double-checked read, mutex only around a rebuild. The
+  /// returned shared_ptr keeps a consistent pack alive even if another
+  /// thread mutates weights concurrently.
+  [[nodiscard]] std::shared_ptr<const kernels::PackedConvWeights> packed(
+      Precision p) const;
 
  private:
+  void bump_revision() {
+    weights_revision_.fetch_add(1, std::memory_order_release);
+  }
+
   int in_c_;
   int out_c_;
   int k_;
   bool residual_;
+  Precision precision_ = Precision::kFloat32;
   std::vector<float> weights_;
   std::vector<float> weight_grads_;
   std::vector<float> bias_;
   std::vector<float> bias_grads_;
   Tensor cached_input_;
-  /// Scratch for the GEMM path when invoked through the workspace-less
-  /// training-era forward(); lazily created, excluded from clone().
+  /// Scratch for the GEMM/packed paths when invoked through the
+  /// workspace-less training-era forward(); lazily created, excluded from
+  /// clone().
   mutable std::unique_ptr<Workspace> own_ws_;
+  /// Packed-weight cache, one slot per Precision. Revision starts at 1 so
+  /// a default pack (revision 0) can never satisfy the staleness check.
+  mutable std::atomic<std::uint64_t> weights_revision_{1};
+  mutable std::mutex pack_mutex_;
+  mutable std::array<std::atomic<std::shared_ptr<const kernels::PackedConvWeights>>,
+                     kNumPrecisions>
+      packed_cache_;
 };
 
 }  // namespace sfn::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+namespace sfn::nn::kernels {
+
+/// Instruction-set families the packed conv microkernels are built for.
+/// Detection is runtime (cpuid on x86), so one portable binary carries the
+/// scalar fallback plus whatever SIMD kernels the build included and picks
+/// at load time. Every family computes bit-identical results: the scalar
+/// reference accumulates with std::fmaf in the same order the SIMD kernels
+/// issue their fused multiply-adds (DESIGN.md §13), so switching ISA — or
+/// running the CI scalar leg — can never move a golden trajectory.
+enum class Isa {
+  kScalar,  ///< Portable fallback (fmaf-based, always available).
+  kAvx2,    ///< x86 AVX2 + FMA (8-wide fused multiply-add).
+  kNeon,    ///< AArch64 NEON (4-wide fused multiply-add).
+};
+
+/// Best ISA this build + this CPU supports (cpuid-checked once).
+[[nodiscard]] Isa detected_isa();
+
+/// ISA the kernels actually dispatch to: detected_isa() clamped by the
+/// process-wide override. Defaults to the SFN_KERNEL_ISA environment
+/// variable ("auto", "scalar", "avx2", "neon"); an override the hardware
+/// or build cannot honour falls back to scalar, never to an illegal
+/// instruction. Benches sweep this to emit the per-ISA kernel table.
+[[nodiscard]] Isa active_isa();
+
+/// Process-wide override (atomic, release/acquire — safe to flip while
+/// inference runs; each dispatch sees the old or the new value). Pass
+/// nullopt-equivalent via reset_isa_override() to return to auto.
+void set_isa_override(Isa isa);
+void reset_isa_override();
+
+[[nodiscard]] std::string isa_name(Isa isa);
+
+}  // namespace sfn::nn::kernels

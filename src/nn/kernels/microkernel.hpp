@@ -1,0 +1,95 @@
+#pragma once
+
+// Register-blocked conv/GEMM microkernels (DESIGN.md §13).
+//
+// The packed conv path computes C = epilogue(A·B) where A is the layer's
+// weight matrix (out_c × K, K = in_c·k·k) pre-packed into kMr-row panels
+// and B is an im2col chunk (K × chunk_pixels, rows contiguous at stride
+// ldb). A microkernel owns one kMr × kNr tile of C: it keeps every
+// accumulator in registers across the whole K loop and applies the fused
+// epilogue (bias init, optional residual add, optional ReLU) before the
+// single store pass — activation never makes a second trip over memory.
+//
+// Determinism contract: every ISA accumulates each output element in the
+// same order with fused multiply-adds (std::fmaf in the scalar reference,
+// vfmadd/vfma in the SIMD kernels — all correctly rounded), starting from
+// the bias. Results are therefore bit-identical across scalar/AVX2/NEON,
+// which is what lets golden trajectories survive the CI scalar leg.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/kernels/isa.hpp"
+
+namespace sfn::nn::kernels {
+
+/// Panel height: rows of C (output channels) per microkernel call.
+inline constexpr int kMr = 6;
+/// Tile width: pixels of C per microkernel call. With kMr=6 the AVX2
+/// kernel holds 12 ymm accumulators + 2 B loads + 1 A broadcast — within
+/// the 16 architectural registers, the NNPACK-style sweet spot.
+inline constexpr int kNr = 16;
+
+/// Full-width f32 tile: computes `rows` (≤ kMr) rows × kNr columns.
+///
+///   c[r*ldc + j] = relu?max(0,·) : (·)
+///     where (·) = fma-chain( bias[r], Σ_p a[p*kMr + r] * b[p*ldb + j] )
+///                 (+ res[r*ldres + j] when res != nullptr)
+///
+/// `a` is one packed panel (K × kMr, column r is output row r, padded rows
+/// are zero); `bias` is the padded per-row bias. All kMr accumulators are
+/// computed; only `rows` rows are stored.
+using TileKernelF32 = void (*)(int K, const float* a, const float* bias,
+                               const float* b, std::size_t ldb,
+                               const float* res, std::size_t ldres,
+                               float* c, std::size_t ldc, int rows,
+                               bool relu);
+
+/// Same contract with the panel stored as bfloat16 (upper 16 bits of the
+/// fp32 pattern). Weights are expanded to fp32 in registers, so the
+/// arithmetic — and the cross-ISA bit-exactness — matches the f32 kernel
+/// run on bf16-rounded weights.
+using TileKernelBf16 = void (*)(int K, const std::uint16_t* a,
+                                const float* bias, const float* b,
+                                std::size_t ldb, const float* res,
+                                std::size_t ldres, float* c, std::size_t ldc,
+                                int rows, bool relu);
+
+/// Kernel table for one ISA. Only full-width tiles are ISA-specialised;
+/// column tails (< kNr pixels) always go through the portable reference
+/// (identical arithmetic, negligible share of the work).
+struct KernelSet {
+  Isa isa;
+  TileKernelF32 f32;
+  TileKernelBf16 bf16;
+};
+
+/// Table for the currently active ISA (honours set_isa_override).
+[[nodiscard]] const KernelSet& active_kernels();
+
+/// Portable reference tiles; also the tail path for every ISA. `cols` may
+/// be any value in [1, kNr].
+void tile_f32_ref(int K, const float* a, const float* bias, const float* b,
+                  std::size_t ldb, const float* res, std::size_t ldres,
+                  float* c, std::size_t ldc, int rows, int cols, bool relu);
+void tile_bf16_ref(int K, const std::uint16_t* a, const float* bias,
+                   const float* b, std::size_t ldb, const float* res,
+                   std::size_t ldres, float* c, std::size_t ldc, int rows,
+                   int cols, bool relu);
+
+/// int8 tile: integer accumulation is exact, so there is nothing to gain
+/// from per-ISA variants beyond what the autovectorizer finds — one
+/// portable kernel keeps the quantized path bit-identical everywhere.
+/// `scale[r]` is s_w[row]·s_x; bias/residual/ReLU are applied in fp32:
+///   c = relu?( float(Σ a·b) * scale[r] + bias[r] (+ res) )
+void tile_i8(int K, const std::int8_t* a, const float* bias,
+             const float* scale, const std::int8_t* b, std::size_t ldb,
+             const float* res, std::size_t ldres, float* c, std::size_t ldc,
+             int rows, int cols, bool relu);
+
+/// Hooks registered by the ISA-specific translation units (null when the
+/// build excluded them).
+[[nodiscard]] const KernelSet* avx2_kernels();  // microkernel_avx2.cpp
+[[nodiscard]] const KernelSet* neon_kernels();  // microkernel_neon.cpp
+
+}  // namespace sfn::nn::kernels

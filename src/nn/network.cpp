@@ -23,7 +23,10 @@ namespace sfn::nn {
 namespace {
 
 constexpr std::int32_t kMagic = 0x53464e4e;  // "SFNN"
-constexpr std::int32_t kVersion = 1;
+// Version 2 added the per-conv inference Precision field. No version-1
+// artifacts are checked in (tests and sessions serialize their own), so
+// load() accepts only the current format.
+constexpr std::int32_t kVersion = 2;
 
 /// Construct a layer of the given kind by reading its config (and weights,
 /// through params()) from the stream — the mirror of Layer::save.
@@ -33,7 +36,12 @@ std::unique_ptr<Layer> make_layer(const std::string& kind, std::istream& in) {
     const int oc = io::read_i32(in);
     const int k = io::read_i32(in);
     const int res = io::read_i32(in);
+    const int prec = io::read_i32(in);
+    if (prec < 0 || prec >= kNumPrecisions) {
+      throw std::runtime_error("Network::load: bad conv2d precision field");
+    }
     auto layer = std::make_unique<Conv2D>(ic, oc, k, res != 0);
+    layer->set_precision(static_cast<Precision>(prec));
     for (auto& view : layer->params()) {
       io::read_floats(in, view.values);
     }
@@ -132,7 +140,21 @@ const Tensor& Network::forward_inference(const Tensor& input,
     obs::TraceScope layer_scope(trace_layers ? "nn.layer" : nullptr,
                                 static_cast<std::uint64_t>(li));
     Tensor* out = bufs[next];
-    layer->forward_into(*cur, *out, ws);
+    // Conv → ReLU pairs collapse into the conv's fused epilogue when the
+    // chosen kernel supports it: the activation is applied in-register
+    // before the store, so the output tensor is written exactly once and
+    // the ReLU layer is skipped outright. Results are identical to the
+    // two-pass sequence (the epilogue computes the same `x > 0 ? x : 0`),
+    // so fusion changes wall-clock, never trajectories.
+    if (const auto* conv = dynamic_cast<const Conv2D*>(layer.get());
+        conv != nullptr && li + 1 < layers_.size() &&
+        dynamic_cast<const ReLU*>(layers_[li + 1].get()) != nullptr &&
+        conv->fuses_relu(cur->shape())) {
+      conv->forward_into_fused(*cur, *out, ws, /*fuse_relu=*/true);
+      ++li;  // The ReLU layer's work happened in the epilogue.
+    } else {
+      layer->forward_into(*cur, *out, ws);
+    }
 #ifdef SFN_CHECK_NUMERICS
     // A blown-up layer names itself here instead of corrupting every
     // downstream DivNorm/CumDivNorm measurement. describe() allocates, so
@@ -292,6 +314,19 @@ std::size_t Network::memory_bytes(const Shape& input) const {
 void Network::init_weights(util::Rng& rng) {
   for (auto& layer : layers_) {
     layer->init_weights(rng);
+  }
+}
+
+void Network::prepack_for_inference() const {
+  for (const auto& layer : layers_) {
+    if (const auto* conv = dynamic_cast<const Conv2D*>(layer.get())) {
+      // Pack for the precision the layer will execute in. Float layers
+      // also serve as parents for forced bf16/int8 benchmarking, but
+      // those packs are built lazily on first use — eager packing covers
+      // only what steady-state serving will touch.
+      const Precision p = conv->precision();
+      (void)conv->packed(p);
+    }
   }
 }
 

@@ -83,6 +83,14 @@ class Network {
 
   void init_weights(util::Rng& rng);
 
+  /// Build every conv layer's packed-weight cache for its execution
+  /// precision (nn/kernels/pack.hpp). Called at model-load time
+  /// (persistence, offline pipeline) so the first inference request does
+  /// not pay the pack — and, for shared-weight serving, so concurrent
+  /// first touches never contend on the pack mutex. Idempotent; a no-op
+  /// when the cache is already current.
+  void prepack_for_inference() const;
+
   [[nodiscard]] std::string describe() const;
 
   void save(std::ostream& out) const;

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace sfn::nn {
+
+/// Numeric format a layer's weights are executed in at inference time.
+///
+/// The paper treats cheaper-but-lossier surrogates as first-class Pareto
+/// points; quantized execution extends that family without retraining:
+/// weights are stored in fp32 (training, serialization and transforms are
+/// unchanged) and converted at pack time, so precision is purely an
+/// inference-execution attribute. kBf16 truncates weights to bfloat16
+/// (activations stay fp32); kInt8 quantizes weights per output channel and
+/// activations per tensor with a dynamic scale (DESIGN.md §13).
+enum class Precision {
+  kFloat32 = 0,
+  kBf16 = 1,
+  kInt8 = 2,
+};
+
+inline constexpr int kNumPrecisions = 3;
+
+[[nodiscard]] inline std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFloat32: return "f32";
+    case Precision::kBf16: return "bf16";
+    case Precision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+}  // namespace sfn::nn

@@ -3,6 +3,7 @@
 #include "nn/tensor.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace sfn::nn {
@@ -25,6 +26,23 @@ class Workspace {
     return col_.data();
   }
 
+  /// Quantized-activation buffer (int8 conv path): the whole input feature
+  /// map quantized once per layer forward.
+  std::int8_t* qin_buffer(std::size_t n) {
+    if (qin_.size() < n) {
+      qin_.resize(n);
+    }
+    return qin_.data();
+  }
+
+  /// int8 column buffer (the quantized path's im2col chunk).
+  std::int8_t* qcol_buffer(std::size_t n) {
+    if (qcol_.size() < n) {
+      qcol_.resize(n);
+    }
+    return qcol_.data();
+  }
+
   /// Ping-pong activation tensors used by Network::forward_inference.
   Tensor x0;
   Tensor x1;
@@ -33,6 +51,8 @@ class Workspace {
 
  private:
   std::vector<float> col_;
+  std::vector<std::int8_t> qin_;
+  std::vector<std::int8_t> qcol_;
 };
 
 }  // namespace sfn::nn

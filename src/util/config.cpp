@@ -24,6 +24,16 @@ long long env_int(const std::string& name, long long fallback) {
   return (end != nullptr && *end == '\0') ? value : fallback;
 }
 
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
 std::string env_str(const std::string& name, const std::string& fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || *raw == '\0') {

@@ -35,6 +35,11 @@ struct BenchConfig {
 /// never-setenv-after-threads-start discipline auditable in one file.
 long long env_int(const std::string& name, long long fallback);
 
+/// Read a floating-point environment variable with a fallback. Malformed
+/// values (trailing junk, empty) fall back rather than half-parse; used
+/// for threshold knobs such as SFN_QUANT_MAX_QLOSS.
+double env_double(const std::string& name, double fallback);
+
 /// Read a string environment variable with a fallback (empty counts as
 /// unset).
 std::string env_str(const std::string& name, const std::string& fallback);

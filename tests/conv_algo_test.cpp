@@ -196,8 +196,20 @@ TEST(ConvAlgoDispatch, OverrideForcesAlgorithm) {
   nn::set_conv_algo_override(nn::ConvAlgo::kIm2colGemm);
   EXPECT_EQ(nn::ConvAlgo::kIm2colGemm, conv.choose_algo(tiny));
   nn::set_conv_algo_override(nn::ConvAlgo::kAuto);
-  EXPECT_EQ(nn::ConvAlgo::kIm2colGemm, conv.choose_algo(big));
+  // Auto prefers the packed microkernel for shapes wide enough to fill
+  // register panels, and the naive loop for tiny ones.
+  EXPECT_EQ(nn::ConvAlgo::kPacked, conv.choose_algo(big));
   EXPECT_EQ(nn::ConvAlgo::kNaive, conv.choose_algo(tiny));
+
+  // A per-layer precision beats any process-wide override: a quantized
+  // candidate must never silently run at full precision.
+  conv.set_precision(nn::Precision::kInt8);
+  nn::set_conv_algo_override(nn::ConvAlgo::kIm2colGemm);
+  EXPECT_EQ(nn::ConvAlgo::kInt8, conv.choose_algo(big));
+  conv.set_precision(nn::Precision::kBf16);
+  EXPECT_EQ(nn::ConvAlgo::kBf16, conv.choose_algo(big));
+  conv.set_precision(nn::Precision::kFloat32);
+  nn::set_conv_algo_override(nn::ConvAlgo::kAuto);
 }
 
 TEST(ConvAlgoDispatch, ForwardIntoMatchesForward) {

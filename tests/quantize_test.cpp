@@ -1,0 +1,234 @@
+// Tests for the quantized inference family (DESIGN.md §13): bf16/int8
+// numeric round-trip bounds, bounded end-to-end conv error versus the
+// float reference, and the measured-quality admission gate that decides
+// whether a quantized clone may join the runtime candidate ladder.
+
+#include "core/quant_admission.hpp"
+#include "core/session.hpp"
+#include "modelgen/transform_ops.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/kernels/microkernel.hpp"
+#include "nn/kernels/pack.hpp"
+#include "nn/workspace.hpp"
+#include "serve_test_support.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace {
+
+using namespace sfn;
+using nn::Shape;
+using nn::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(QuantizeNumerics, Bf16RoundTripIsBounded) {
+  // bfloat16 keeps 8 significand bits, so round-to-nearest-even loses at
+  // most 2^-9 relative; exact powers of two round-trip losslessly.
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float back = nn::kernels::bf16_to_f32(nn::kernels::f32_to_bf16(v));
+    ASSERT_LE(std::abs(back - v), std::abs(v) * (1.0f / 256.0f) + 1e-30f)
+        << "v=" << v;
+  }
+  for (const float exact : {0.0f, 1.0f, -2.0f, 0.5f, 256.0f, -0.125f}) {
+    EXPECT_EQ(exact,
+              nn::kernels::bf16_to_f32(nn::kernels::f32_to_bf16(exact)));
+  }
+}
+
+TEST(QuantizeNumerics, Int8WeightRoundTripIsBounded) {
+  // Symmetric per-output-channel quantization: |w - q*scale| <= scale/2.
+  const int out_c = 7, K = 27;
+  util::Rng rng(11);
+  std::vector<float> weights(static_cast<std::size_t>(out_c) * K);
+  std::vector<float> bias(out_c, 0.0f);
+  for (auto& w : weights) w = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+  const auto pack = nn::kernels::pack_conv_weights(
+      weights.data(), bias.data(), out_c, K, nn::Precision::kInt8, 1);
+  ASSERT_EQ(static_cast<int>(pack.wscale.size()),
+            pack.panels * nn::kernels::kMr);
+  for (int row = 0; row < out_c; ++row) {
+    const int p = row / nn::kernels::kMr;
+    const int r = row % nn::kernels::kMr;
+    const float scale = pack.wscale[static_cast<std::size_t>(p) *
+                                        nn::kernels::kMr +
+                                    r];
+    ASSERT_GT(scale, 0.0f);
+    for (int col = 0; col < K; ++col) {
+      const float w = weights[static_cast<std::size_t>(row) * K + col];
+      const std::int8_t q =
+          pack.a_i8[pack.panel_offset(p, nn::kernels::kMr) +
+                    static_cast<std::size_t>(col) * nn::kernels::kMr + r];
+      ASSERT_LE(std::abs(w - static_cast<float>(q) * scale),
+                scale * 0.5f + 1e-6f)
+          << "row=" << row << " col=" << col;
+    }
+  }
+}
+
+TEST(QuantizeNumerics, Int8ConvErrorIsBounded) {
+  // Weights are 8-bit per channel and activations 8-bit per tensor, so
+  // the conv output should track the float reference to a few percent.
+  nn::Workspace ws;
+  for (const bool residual : {false, true}) {
+    nn::Conv2D conv(8, 8, 3, residual);
+    const Tensor input =
+        random_tensor(Shape{8, 24, 24}, 0x128u + (residual ? 1u : 0u));
+    Tensor reference;
+    Tensor quantized;
+    conv.forward_naive_into(input, reference);
+    conv.forward_packed_into(input, quantized, ws, nn::Precision::kInt8);
+    ASSERT_EQ(reference.shape(), quantized.shape());
+    for (std::size_t i = 0; i < reference.numel(); ++i) {
+      const double tol = 0.05 * std::max(1.0, static_cast<double>(std::abs(reference[i])));
+      ASSERT_NEAR(reference[i], quantized[i], tol) << "at " << i;
+    }
+  }
+}
+
+TEST(QuantizeNumerics, Bf16ConvErrorIsBounded) {
+  nn::Workspace ws;
+  nn::Conv2D conv(8, 8, 3, /*residual=*/true);
+  const Tensor input = random_tensor(Shape{8, 24, 24}, 0xbf16);
+  Tensor reference;
+  Tensor quantized;
+  conv.forward_naive_into(input, reference);
+  conv.forward_packed_into(input, quantized, ws, nn::Precision::kBf16);
+  for (std::size_t i = 0; i < reference.numel(); ++i) {
+    const double tol = 0.01 * std::max(1.0, static_cast<double>(std::abs(reference[i])));
+    ASSERT_NEAR(reference[i], quantized[i], tol) << "at " << i;
+  }
+}
+
+TEST(QuantizeTransform, QuantizeTagsSpecAndName) {
+  const auto base = test::make_test_artifacts().library[0].spec;
+  const auto q = modelgen::quantize(base, nn::Precision::kInt8);
+  EXPECT_EQ(nn::Precision::kInt8, q.precision);
+  EXPECT_EQ(base.name + "+int8", q.name);
+  // Architecture-wise the clone is the parent (same Eq. 6 features)...
+  EXPECT_EQ(base.stages.size(), q.stages.size());
+  // ...but the specs compare different, so libraries can hold both.
+  EXPECT_FALSE(base == q);
+  EXPECT_THROW(modelgen::quantize(base, nn::Precision::kFloat32),
+               std::invalid_argument);
+}
+
+class QuantAdmission : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    artifacts_ = test::make_test_artifacts();
+    workload::ProblemSetParams params;
+    params.grid = 16;
+    params.steps = 8;
+    problems_ = workload::generate_problems(2, params, 99);
+    references_ = workload::reference_runs(problems_);
+    // Give the parents their honest measured quality so the gate compares
+    // like with like (make_test_artifacts fills in synthetic ladder
+    // positions).
+    for (auto& model : artifacts_.library.models) {
+      core::measure_model(&model, problems_, references_);
+    }
+  }
+
+  core::OfflineArtifacts artifacts_;
+  std::vector<workload::InputProblem> problems_;
+  std::vector<workload::RunResult> references_;
+};
+
+TEST_F(QuantAdmission, DisabledIsANoOp) {
+  core::QuantAdmissionParams params;
+  params.enabled = false;
+  const auto before = artifacts_.library.size();
+  const auto report = core::admit_quantized_candidates(&artifacts_, problems_,
+                                                       references_, params);
+  EXPECT_EQ(0, report.admitted);
+  EXPECT_EQ(0, report.rejected);
+  EXPECT_EQ(before, artifacts_.library.size());
+}
+
+TEST_F(QuantAdmission, ImpossibleGateRejectsEveryClone) {
+  core::QuantAdmissionParams params;
+  params.enabled = true;
+  params.max_extra_qloss = -1e9;  // Nothing can beat its parent by 1e9.
+  const auto before_selected = artifacts_.selected_ids;
+  const auto before_models = artifacts_.library.size();
+
+  const auto report = core::admit_quantized_candidates(&artifacts_, problems_,
+                                                       references_, params);
+  EXPECT_EQ(0, report.admitted);
+  EXPECT_EQ(static_cast<int>(before_selected.size() * params.precisions.size()),
+            report.rejected);
+  EXPECT_EQ(before_models, artifacts_.library.size());
+  EXPECT_EQ(before_selected, artifacts_.selected_ids);
+}
+
+TEST_F(QuantAdmission, PermissiveGateAdmitsAlignedCandidates) {
+  core::QuantAdmissionParams params;
+  params.enabled = true;
+  params.max_extra_qloss = 1e9;
+  const auto before_models = artifacts_.library.size();
+  const auto before_pareto = artifacts_.pareto_ids.size();
+
+  const auto report = core::admit_quantized_candidates(&artifacts_, problems_,
+                                                       references_, params);
+  const int expected =
+      static_cast<int>(2 * params.precisions.size());  // 2 parents.
+  EXPECT_EQ(expected, report.admitted);
+  EXPECT_EQ(0, report.rejected);
+  ASSERT_EQ(before_models + expected, artifacts_.library.size());
+  // pareto_ids and scores must stay index-aligned (make_runtime_candidates
+  // looks probabilities up by position).
+  ASSERT_EQ(artifacts_.pareto_ids.size(), artifacts_.scores.size());
+  ASSERT_EQ(before_pareto + expected, artifacts_.pareto_ids.size());
+
+  for (std::size_t i = before_models; i < artifacts_.library.size(); ++i) {
+    const auto& clone = artifacts_.library[i];
+    EXPECT_NE(nn::Precision::kFloat32, clone.spec.precision);
+    EXPECT_NE(std::string::npos, clone.origin.find("quantize("));
+    EXPECT_FALSE(clone.records.records.empty()) << "clone was not measured";
+  }
+}
+
+TEST_F(QuantAdmission, AdmittedCloneIsSelectableByTheController) {
+  core::QuantAdmissionParams params;
+  params.enabled = true;
+  params.max_extra_qloss = 1e9;
+  core::admit_quantized_candidates(&artifacts_, problems_, references_,
+                                   params);
+
+  const auto candidates = core::make_runtime_candidates(artifacts_);
+  int quantized = 0;
+  for (const auto& c : candidates) {
+    if (c.precision != nn::Precision::kFloat32) {
+      ++quantized;
+    }
+  }
+  ASSERT_GT(quantized, 0) << "no quantized candidate reached the runtime";
+
+  // End-to-end: a session planned over the extended ladder runs to
+  // completion, and every step is attributed to a real candidate.
+  const auto problem = test::make_test_problem(4242);
+  const auto result = core::run_adaptive(problem, artifacts_);
+  ASSERT_EQ(static_cast<std::size_t>(problem.steps),
+            result.model_per_step.size());
+  for (const std::size_t id : result.model_per_step) {
+    ASSERT_TRUE(id == core::SessionResult::kPcgModelId ||
+                id < artifacts_.library.size());
+  }
+}
+
+}  // namespace

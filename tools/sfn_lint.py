@@ -41,12 +41,20 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         run_fixed — a serve-layer reference to any of them
                         would be one session's state reaching another
                         (DESIGN.md §12's isolation contract).
+  R8 raw-intrinsics     Raw SIMD intrinsics (`_mm256_*`, `vld1q_*`, the
+                        `__m256`/`float32x4_t` vector types) and their
+                        headers (<immintrin.h>, <arm_neon.h>) live only
+                        under src/nn/kernels/. Everything else targets the
+                        microkernel interface, so the scalar-forced CI leg
+                        (SFN_FORCE_SCALAR_KERNELS) and non-x86 ports only
+                        ever have to stub one directory (DESIGN.md §13).
 
 Escape hatches are deliberate annotations, not config: append
 `// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
-`// sfn-lint: allow-print` (R5), `// sfn-lint: allow-pcg` (R6) or
-`// sfn-lint: allow-runtime-state` (R7) to the offending line, with a
-reason, and the rule skips it.
+`// sfn-lint: allow-print` (R5), `// sfn-lint: allow-pcg` (R6),
+`// sfn-lint: allow-runtime-state` (R7) or `// sfn-lint:
+allow-intrinsics` (R8) to the offending line, with a reason, and the
+rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -288,6 +296,44 @@ def rule_serve_isolation(root: pathlib.Path) -> None:
 
 
 # --------------------------------------------------------------------------
+# R8: raw SIMD intrinsics only under src/nn/kernels/.
+
+# x86: _mm/_mm256/_mm512 calls and __m128/__m256/__m512 vector types.
+# NEON: v<op>[q]_<lane-type> intrinsic calls (vld1q_f32, vfmaq_n_f32, ...)
+# and the <elem>x<lanes>_t vector types (float32x4_t, int8x16_t, ...).
+INTRINSICS_RE = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m\d{3}[di]?\b"
+    r"|\bv\w+q?_[fsupn]?(?:8|16|32|64)\w*\s*\("
+    r"|\b(?:float|u?int|poly)(?:8|16|32|64)x\d+(?:x\d+)?_t\b")
+INTRINSIC_HEADER_RE = re.compile(
+    r'#\s*include\s*[<"](?:\w*intrin|arm_neon|arm_sve)\.h[>"]')
+
+
+def rule_raw_intrinsics(root: pathlib.Path) -> None:
+    kernels_dir = root / "src" / "nn" / "kernels"
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.[ch]pp")):
+            if kernels_dir in path.parents:
+                continue
+            for line_no, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if "sfn-lint: allow-intrinsics" in raw:
+                    continue
+                code = strip_line_comment(raw)
+                if INTRINSICS_RE.search(code) or INTRINSIC_HEADER_RE.search(code):
+                    report(
+                        "raw-intrinsics", path.relative_to(root), line_no,
+                        "raw SIMD intrinsic outside src/nn/kernels/; go "
+                        "through the microkernel interface "
+                        "(nn/kernels/microkernel.hpp) so scalar/non-x86 "
+                        "builds stay buildable (or annotate `// sfn-lint: "
+                        "allow-intrinsics` with a reason)")
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
@@ -332,6 +378,7 @@ def main() -> int:
     rule_raw_stdout(root)
     rule_pcg_in_runtime(root)
     rule_serve_isolation(root)
+    rule_raw_intrinsics(root)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
     else:

@@ -255,7 +255,7 @@ std::shared_ptr<const kernels::PackedConvWeights> Conv2D::packed(
       snapshot->revision == weights_revision_.load(std::memory_order_acquire)) {
     return snapshot;
   }
-  std::lock_guard<std::mutex> lock(pack_mutex_);
+  const util::MutexLock lock(pack_mutex_);
   // Re-read the revision *before* re-checking the cache: if a mutation
   // lands after this load the pack we build is stale by construction, but
   // its recorded revision is stale too, so the next dispatch rebuilds.

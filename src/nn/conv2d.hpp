@@ -3,11 +3,11 @@
 #include "nn/layer.hpp"
 #include "nn/kernels/pack.hpp"
 #include "nn/precision.hpp"
+#include "util/annotations.hpp"
 
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace sfn::nn {
@@ -147,8 +147,22 @@ class Conv2D final : public Layer {
   mutable std::unique_ptr<Workspace> own_ws_;
   /// Packed-weight cache, one slot per Precision. Revision starts at 1 so
   /// a default pack (revision 0) can never satisfy the staleness check.
+  ///
+  /// Capability model (DESIGN.md §14): pack_mutex_ serialises *rebuilds*
+  /// only. The cache slots are deliberately NOT SFN_GUARDED_BY it — the
+  /// hot path reads them lock-free. Happens-before edges:
+  ///   * bump_revision's `fetch_add(release)` pairs with packed()'s
+  ///     `weights_revision_.load(acquire)`: a dispatch that observes the
+  ///     new revision also observes the mutated weights, so the pack it
+  ///     rebuilds is consistent;
+  ///   * packed()'s `packed_cache_[i].store(release)` of a fresh pack
+  ///     pairs with the lock-free `load(acquire)` on the next dispatch.
+  /// Weight *mutation* itself (weight()/bias()/load()/training) requires
+  /// the caller to own the layer exclusively — mutating concurrently
+  /// with a rebuild would race on weights_ (§14 finding F3 documents
+  /// this phase-exclusivity contract).
   mutable std::atomic<std::uint64_t> weights_revision_{1};
-  mutable std::mutex pack_mutex_;
+  mutable util::Mutex pack_mutex_;
   mutable std::array<std::atomic<std::shared_ptr<const kernels::PackedConvWeights>>,
                      kNumPrecisions>
       packed_cache_;

@@ -1,13 +1,14 @@
 #include "obs/metrics.hpp"
 
+#include "util/annotations.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 
 namespace sfn::obs {
 
@@ -19,10 +20,13 @@ std::atomic<int> g_enabled{-1};  // -1: not yet read from the environment.
 /// handed to call sites stay valid forever. One mutex guards registration
 /// only; updates never touch it.
 struct MetricsRegistry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  util::Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      SFN_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      SFN_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      SFN_GUARDED_BY(mutex);
 };
 
 MetricsRegistry& registry() {
@@ -79,15 +83,15 @@ void Histogram::observe(double v) {
   if (!metrics_enabled()) {
     return;
   }
-  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_add(&sum_, v);
-  if (n == 0) {
-    // First sample initialises min/max; racing observers fix it up below.
-    min_.store(v, std::memory_order_relaxed);
-    max_.store(v, std::memory_order_relaxed);
-  }
+  // Extrema fold from CAS-loop identities (+inf/0) before the count
+  // bump, so a reader that sees count > 0 almost always sees folded
+  // extrema; snapshot() still maps a not-yet-folded +inf min to 0.0
+  // rather than publish the identity. The old first-sample store raced
+  // with snapshot() (§14 finding F2).
   atomic_min(&min_, v);
   atomic_max(&max_, v);
+  atomic_add(&sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
   bins_[static_cast<std::size_t>(bin_index(v))].fetch_add(
       1, std::memory_order_relaxed);
 }
@@ -97,6 +101,9 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  if (!std::isfinite(s.min)) {
+    s.min = 0.0;
+  }
   s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
   for (int i = 0; i < kBins; ++i) {
     s.bins[static_cast<std::size_t>(i)] =
@@ -126,7 +133,8 @@ double Histogram::approx_quantile(double p) const {
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
   for (auto& b : bins_) {
     b.store(0, std::memory_order_relaxed);
@@ -135,7 +143,7 @@ void Histogram::reset() {
 
 Counter& counter(std::string_view name) {
   MetricsRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   auto it = reg.counters.find(name);
   if (it == reg.counters.end()) {
     it = reg.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -146,7 +154,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   MetricsRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   auto it = reg.gauges.find(name);
   if (it == reg.gauges.end()) {
     it = reg.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -157,7 +165,7 @@ Gauge& gauge(std::string_view name) {
 
 Histogram& histogram(std::string_view name) {
   MetricsRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   auto it = reg.histograms.find(name);
   if (it == reg.histograms.end()) {
     it = reg.histograms
@@ -170,7 +178,7 @@ Histogram& histogram(std::string_view name) {
 std::vector<MetricValue> all_metrics() {
   std::vector<MetricValue> out;
   MetricsRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& [name, c] : reg.counters) {
     out.push_back({name, "counter", c.get(), nullptr, nullptr});
   }
@@ -208,7 +216,7 @@ util::Table metrics_table() {
 
 void reset_metrics() {
   MetricsRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& [name, c] : reg.counters) {
     c->reset();
   }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -102,7 +103,12 @@ class Histogram {
  private:
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};  // Valid only while count_ > 0.
+  /// min/max start at the CAS-loop identities (+inf / 0 for magnitudes)
+  /// and are maintained purely by atomic min/max folds, so there is no
+  /// first-sample initialisation window in which a concurrent snapshot()
+  /// could read a half-initialised extremum (DESIGN.md §14, finding F2).
+  /// Reported only while count_ > 0, where at least one fold has run.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{0.0};
   std::array<std::atomic<std::uint64_t>, kBins> bins_{};
 };

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include "util/annotations.hpp"
 #include "util/config.hpp"
 
 #include <algorithm>
@@ -8,7 +9,6 @@
 #include <chrono>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 namespace sfn::obs {
 
@@ -44,6 +44,17 @@ std::size_t buffer_capacity() {
 /// drops the newest events once full), so the owner path is lock-free and
 /// reader/writer never touch the same bytes unsynchronised. Aggregate
 /// fields are relaxed atomics for the same single-writer reason.
+///
+/// Happens-before edges (not expressible as SFN_GUARDED_BY — this is the
+/// lock-free half of the §14 capability model; the mutex-side state is
+/// Registry below):
+///   * push_event's `size.store(release)` pairs with snapshot_events'
+///     `size.load(acquire)`: a reader that observes size == n sees the
+///     fully written ring[0..n).
+///   * update_aggregate's `name.store(release)` on slot claim pairs with
+///     aggregate_scope_stats' `name.load(acquire)`: a reader that sees a
+///     non-null name sees a claimed slot (counts themselves are relaxed
+///     and may lag, which a merged snapshot tolerates).
 struct ThreadBuffer {
   struct Agg {
     std::atomic<const char*> name{nullptr};
@@ -122,9 +133,9 @@ struct ThreadBuffer {
 /// thread (mutex held only there) and never destroyed, so thread-exit
 /// ordering cannot invalidate an exporter snapshot mid-read.
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_thread_id = 0;
+  util::Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers SFN_GUARDED_BY(mutex);
+  std::uint32_t next_thread_id SFN_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -139,7 +150,7 @@ thread_local int tls_depth = 0;
 ThreadBuffer* this_thread_buffer() {
   if (tls_buffer == nullptr) {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     reg.buffers.push_back(
         std::make_unique<ThreadBuffer>(reg.next_thread_id++,
                                        buffer_capacity()));
@@ -228,7 +239,7 @@ TraceCapture::~TraceCapture() { tls_capture = prev_; }
 std::vector<TraceEvent> snapshot_events() {
   std::vector<TraceEvent> out;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& tb : reg.buffers) {
     const std::size_t n = tb->size.load(std::memory_order_acquire);
     out.insert(out.end(), tb->ring.begin(),
@@ -244,7 +255,7 @@ std::vector<TraceEvent> snapshot_events() {
 std::vector<ScopeStats> aggregate_scope_stats() {
   std::vector<ScopeStats> out;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& tb : reg.buffers) {
     for (const auto& slot : tb->aggs) {
       const char* name = slot.name.load(std::memory_order_acquire);
@@ -280,7 +291,7 @@ std::vector<ScopeStats> aggregate_scope_stats() {
 std::uint64_t dropped_events() {
   std::uint64_t total = 0;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& tb : reg.buffers) {
     total += tb->dropped.load(std::memory_order_relaxed);
   }
@@ -289,7 +300,7 @@ std::uint64_t dropped_events() {
 
 void reset_thread_buffers() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& tb : reg.buffers) {
     tb->reset();
   }

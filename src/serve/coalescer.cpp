@@ -74,9 +74,12 @@ void InferenceCoalescer::infer(const nn::Network& net, const nn::Tensor& input,
   request.input = &input;
   request.out = out;
   {
-    std::unique_lock lock(mutex_);
+    util::ReleasableMutexLock lock(mutex_);
     if (stop_) {
-      lock.unlock();
+      // Provably unlocked before the inline forward: running inference
+      // while holding the queue mutex would stall every other session's
+      // enqueue for the duration of a conv net.
+      lock.release();
       run_inline(net, input, out);
       return;
     }
@@ -85,7 +88,9 @@ void InferenceCoalescer::infer(const nn::Network& net, const nn::Tensor& input,
     queue_depth_gauge().set(static_cast<double>(queue_.size()));
     queue_peak_gauge().set_max(static_cast<double>(queue_.size()));
     arrival_cv_.notify_one();
-    done_cv_.wait(lock, [&] { return request.done; });
+    while (!request.done) {
+      done_cv_.wait(mutex_);
+    }
   }
   if (request.error) {
     // Fault isolation: the exception a poisoned forward raised inside the
@@ -107,56 +112,65 @@ void InferenceCoalescer::session_finished() {
 }
 
 void InferenceCoalescer::dispatcher_loop() {
-  std::unique_lock lock(mutex_);
   for (;;) {
-    arrival_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) {
-        return;
-      }
-      continue;
-    }
-
-    // Micro-batch window: flush on batch_max requests or batch_wait_us
-    // after the window opened, whichever comes first. Flush early once
-    // every active session has a request in flight — each session blocks
-    // on its one request, so the batch cannot grow further. During
-    // shutdown the window collapses: drain immediately.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(config_.batch_wait_us);
-    while (!stop_ && queue_.size() < config_.batch_max) {
-      const auto active = static_cast<std::size_t>(
-          std::max(1, active_sessions_.load(std::memory_order_relaxed)));
-      if (queue_.size() >= active) {
-        break;
-      }
-      if (arrival_cv_.wait_until(lock, deadline) ==
-          std::cv_status::timeout) {
-        break;
-      }
-    }
-
     std::vector<Request*> batch;
-    if (queue_.size() > config_.batch_max) {
-      // Oversized backlog (e.g. after a timeout storm): take one full
-      // window, leave the rest for the next iteration.
-      batch.assign(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(
-                                        config_.batch_max));
-      queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(
-                                                        config_.batch_max));
-    } else {
-      batch = std::move(queue_);
-      queue_.clear();
-    }
-    queue_depth_gauge().set(static_cast<double>(queue_.size()));
-    lock.unlock();
+    {
+      const util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) {
+        arrival_cv_.wait(mutex_);
+      }
+      if (queue_.empty()) {
+        if (stop_) {
+          return;
+        }
+        continue;
+      }
 
+      // Micro-batch window: flush on batch_max requests or batch_wait_us
+      // after the window opened, whichever comes first. Flush early once
+      // every active session has a request in flight — each session
+      // blocks on its one request, so the batch cannot grow further.
+      // During shutdown the window collapses: drain immediately.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.batch_wait_us);
+      while (!stop_ && queue_.size() < config_.batch_max) {
+        const auto active = static_cast<std::size_t>(
+            std::max(1, active_sessions_.load(std::memory_order_relaxed)));
+        if (queue_.size() >= active) {
+          break;
+        }
+        if (arrival_cv_.wait_until(mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+
+      if (queue_.size() > config_.batch_max) {
+        // Oversized backlog (e.g. after a timeout storm): take one full
+        // window, leave the rest for the next iteration.
+        batch.assign(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(
+                                          config_.batch_max));
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(
+                                          config_.batch_max));
+      } else {
+        batch = std::move(queue_);
+        queue_.clear();
+      }
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+
+    // Run the batch with the mutex provably dropped (the MutexLock scope
+    // above ended): sessions keep enqueueing into the next window while
+    // this one executes.
     execute(batch);
 
-    lock.lock();
-    for (Request* request : batch) {
-      request->done = true;
+    {
+      const util::MutexLock lock(mutex_);
+      for (Request* request : batch) {
+        request->done = true;
+      }
     }
     done_cv_.notify_all();
   }
@@ -205,7 +219,7 @@ void InferenceCoalescer::execute(const std::vector<Request*>& batch) {
       }
     }
     {
-      const std::lock_guard guard(mutex_);
+      const util::MutexLock guard(mutex_);
       ++batches_;
       requests_batched_ += inputs.size();
     }
@@ -219,7 +233,7 @@ void InferenceCoalescer::shutdown() {
   // one caller moves it into a local; everyone else gets an empty thread.
   std::thread dispatcher;
   {
-    const std::lock_guard guard(mutex_);
+    const util::MutexLock guard(mutex_);
     stop_ = true;
     dispatcher = std::move(dispatcher_);
   }
@@ -230,22 +244,22 @@ void InferenceCoalescer::shutdown() {
 }
 
 std::size_t InferenceCoalescer::queue_high_water() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return high_water_;
 }
 
 std::size_t InferenceCoalescer::pending() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return queue_.size();
 }
 
 std::uint64_t InferenceCoalescer::batches_dispatched() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return batches_;
 }
 
 std::uint64_t InferenceCoalescer::requests_batched() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return requests_batched_;
 }
 

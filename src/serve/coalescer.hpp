@@ -1,12 +1,11 @@
 #pragma once
 
 #include "core/neural_projection.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -62,7 +61,7 @@ class InferenceCoalescer final : public core::InferenceSink {
   /// Blocking. Batched with other sessions' concurrent requests when more
   /// than one session is active; inline otherwise.
   void infer(const nn::Network& net, const nn::Tensor& input,
-             nn::Tensor* out) override;
+             nn::Tensor* out) override SFN_EXCLUDES(mutex_);
 
   /// Session accounting, maintained by SessionServer: the active count
   /// drives the single-session bypass and the everyone-is-waiting early
@@ -72,20 +71,28 @@ class InferenceCoalescer final : public core::InferenceSink {
 
   /// Drain the queue, then stop the dispatcher. Idempotent. Requests
   /// arriving after shutdown are executed inline (correct, unbatched).
-  void shutdown();
+  void shutdown() SFN_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t active_sessions() const {
     return static_cast<std::size_t>(
         active_sessions_.load(std::memory_order_relaxed));
   }
   /// Peak queued requests observed (never exceeds peak active sessions).
-  [[nodiscard]] std::size_t queue_high_water() const;
-  [[nodiscard]] std::size_t pending() const;
-  [[nodiscard]] std::uint64_t batches_dispatched() const;
-  [[nodiscard]] std::uint64_t requests_batched() const;
+  [[nodiscard]] std::size_t queue_high_water() const SFN_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t pending() const SFN_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t batches_dispatched() const SFN_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t requests_batched() const SFN_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t requests_inline() const;
 
  private:
+  /// Stack-allocated on the requesting session's thread; a pointer sits
+  /// in `queue_` (guarded by mutex_) until the dispatcher claims it.
+  /// `done` is only touched with mutex_ held. `error` and `*out` are
+  /// written by the dispatcher while NOT holding the mutex — the
+  /// happens-before edge to the requester is the dispatcher's subsequent
+  /// mutex_-guarded `done = true` (release on unlock) paired with the
+  /// requester's mutex_-guarded read of `done` (acquire on lock); the
+  /// requester only reads error/*out after observing done == true.
   struct Request {
     const nn::Network* net = nullptr;
     const nn::Tensor* input = nullptr;
@@ -97,29 +104,31 @@ class InferenceCoalescer final : public core::InferenceSink {
     std::exception_ptr error;
   };
 
-  void dispatcher_loop();
+  void dispatcher_loop() SFN_EXCLUDES(mutex_);
   /// Group `batch` by network and run one forward_batch per group.
   /// Called without the queue mutex held.
-  void execute(const std::vector<Request*>& batch);
+  void execute(const std::vector<Request*>& batch) SFN_EXCLUDES(mutex_);
   void run_inline(const nn::Network& net, const nn::Tensor& input,
                   nn::Tensor* out);
 
   CoalescerConfig config_;
   util::ThreadPool pool_;  ///< Private inference pool (see config).
 
-  mutable std::mutex mutex_;
-  std::condition_variable arrival_cv_;  ///< Dispatcher wakeups.
-  std::condition_variable done_cv_;     ///< Requester wakeups.
-  std::vector<Request*> queue_;
-  bool stop_ = false;
-  std::size_t high_water_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t requests_batched_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar arrival_cv_;  ///< Dispatcher wakeups.
+  util::CondVar done_cv_;     ///< Requester wakeups.
+  std::vector<Request*> queue_ SFN_GUARDED_BY(mutex_);
+  bool stop_ SFN_GUARDED_BY(mutex_) = false;
+  std::size_t high_water_ SFN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ SFN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t requests_batched_ SFN_GUARDED_BY(mutex_) = 0;
 
   std::atomic<int> active_sessions_{0};
   std::atomic<std::uint64_t> requests_inline_{0};
 
-  std::thread dispatcher_;
+  /// Joined exactly once: shutdown() moves the handle into a local under
+  /// the mutex, so concurrent shutdowns cannot double-join.
+  std::thread dispatcher_ SFN_GUARDED_BY(mutex_);
 };
 
 }  // namespace sfn::serve

@@ -45,7 +45,7 @@ SessionServer::~SessionServer() { shutdown(); }
 SessionServer::JobId SessionServer::enqueue(Job job, bool may_block) {
   JobId id = 0;
   {
-    std::unique_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!accepting_) {
       throw ServerStoppedError();
     }
@@ -54,9 +54,9 @@ SessionServer::JobId SessionServer::enqueue(Job job, bool may_block) {
         rejected_counter().add();
         throw QueueFullError(config_.queue_capacity);
       }
-      space_cv_.wait(lock, [&] {
-        return !accepting_ || queued_ < config_.queue_capacity;
-      });
+      while (accepting_ && queued_ >= config_.queue_capacity) {
+        space_cv_.wait(mutex_);
+      }
       if (!accepting_) {
         throw ServerStoppedError();
       }
@@ -125,7 +125,7 @@ std::optional<SessionServer::JobId> SessionServer::try_submit_adaptive(
 void SessionServer::run_job(JobId id) {
   Job* job = nullptr;
   {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return;
@@ -161,7 +161,7 @@ void SessionServer::run_job(JobId id) {
   coalescer_.session_finished();
 
   {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     job->result = std::move(result);
     job->error = error;
     job->done = true;
@@ -174,7 +174,7 @@ void SessionServer::run_job(JobId id) {
 }
 
 core::SessionResult SessionServer::wait(JobId id) {
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     throw std::invalid_argument("SessionServer::wait: unknown job id " +
@@ -189,7 +189,9 @@ core::SessionResult SessionServer::wait(JobId id) {
   // the check above rather than block on a Job* this waiter erases (and
   // thereby frees) on wake-up.
   job->redeemed = true;
-  done_cv_.wait(lock, [&] { return job->done; });
+  while (!job->done) {
+    done_cv_.wait(mutex_);
+  }
   if (job->error) {
     std::exception_ptr error = job->error;
     jobs_.erase(it);
@@ -201,13 +203,15 @@ core::SessionResult SessionServer::wait(JobId id) {
 }
 
 void SessionServer::wait_all() {
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+  const util::MutexLock lock(mutex_);
+  while (queued_ != 0 || running_ != 0) {
+    done_cv_.wait(mutex_);
+  }
 }
 
 void SessionServer::shutdown() {
   {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     accepting_ = false;
   }
   space_cv_.notify_all();
@@ -216,17 +220,17 @@ void SessionServer::shutdown() {
 }
 
 std::size_t SessionServer::sessions_active() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return running_;
 }
 
 std::size_t SessionServer::queue_high_water() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return queue_high_water_;
 }
 
 std::uint64_t SessionServer::jobs_completed() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return completed_;
 }
 

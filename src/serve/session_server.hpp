@@ -2,14 +2,13 @@
 
 #include "core/session.hpp"
 #include "serve/coalescer.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/problems.hpp"
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -103,20 +102,20 @@ class SessionServer {
 
   /// Block until job `id` finished; returns its result (or rethrows the
   /// exception that killed it). Each id is redeemable exactly once.
-  core::SessionResult wait(JobId id);
+  core::SessionResult wait(JobId id) SFN_EXCLUDES(mutex_);
 
   /// Block until every accepted job has finished.
-  void wait_all();
+  void wait_all() SFN_EXCLUDES(mutex_);
 
   /// Stop accepting, drain queued and running sessions, stop the
   /// coalescer. Idempotent; also called by the destructor. Results of
   /// drained jobs remain redeemable.
-  void shutdown();
+  void shutdown() SFN_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t sessions_active() const;
+  [[nodiscard]] std::size_t sessions_active() const SFN_EXCLUDES(mutex_);
   /// Peak accepted-but-not-started sessions (≤ queue_capacity).
-  [[nodiscard]] std::size_t queue_high_water() const;
-  [[nodiscard]] std::uint64_t jobs_completed() const;
+  [[nodiscard]] std::size_t queue_high_water() const SFN_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t jobs_completed() const SFN_EXCLUDES(mutex_);
   [[nodiscard]] const InferenceCoalescer& coalescer() const {
     return coalescer_;
   }
@@ -124,6 +123,16 @@ class SessionServer {
 
  private:
   enum class Kind { kFixed, kAdaptive };
+  /// Job records live in `jobs_` (guarded by mutex_) and are reached only
+  /// through it, so every field below is effectively guarded by
+  /// SessionServer::mutex_ — the attribute cannot name an enclosing
+  /// class's member from a nested type, hence comments, not annotations.
+  /// The submission fields (kind..session) are written once at enqueue
+  /// and read by the worker without the lock: the enqueue critical
+  /// section publishes them (release on unlock) and run_job's initial
+  /// lookup under the same mutex acquires them; they are immutable from
+  /// then on. done/redeemed/result/error are only ever touched with
+  /// mutex_ held.
   struct Job {
     Kind kind = Kind::kFixed;
     workload::InputProblem problem;
@@ -136,22 +145,24 @@ class SessionServer {
     std::exception_ptr error;
   };
 
-  JobId enqueue(Job job, bool may_block);
-  void run_job(JobId id);
+  JobId enqueue(Job job, bool may_block) SFN_EXCLUDES(mutex_);
+  void run_job(JobId id) SFN_EXCLUDES(mutex_);
 
   ServerConfig config_;
   InferenceCoalescer coalescer_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable space_cv_;  ///< submit() backpressure.
-  std::condition_variable done_cv_;   ///< wait()/drain wakeups.
-  std::map<JobId, std::unique_ptr<Job>> jobs_;
-  JobId next_id_ = 1;
-  std::size_t queued_ = 0;   ///< Accepted, not yet started.
-  std::size_t running_ = 0;  ///< Started, not yet finished.
-  std::size_t queue_high_water_ = 0;
-  std::uint64_t completed_ = 0;
-  bool accepting_ = true;
+  mutable util::Mutex mutex_;
+  util::CondVar space_cv_;  ///< submit() backpressure.
+  util::CondVar done_cv_;   ///< wait()/drain wakeups.
+  std::map<JobId, std::unique_ptr<Job>> jobs_ SFN_GUARDED_BY(mutex_);
+  JobId next_id_ SFN_GUARDED_BY(mutex_) = 1;
+  /// Accepted, not yet started.
+  std::size_t queued_ SFN_GUARDED_BY(mutex_) = 0;
+  /// Started, not yet finished.
+  std::size_t running_ SFN_GUARDED_BY(mutex_) = 0;
+  std::size_t queue_high_water_ SFN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ SFN_GUARDED_BY(mutex_) = 0;
+  bool accepting_ SFN_GUARDED_BY(mutex_) = true;
 
   /// Declared last: its destructor joins the workers, which touch all of
   /// the state above.

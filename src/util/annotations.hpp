@@ -1,0 +1,182 @@
+#pragma once
+
+// Compile-time concurrency contracts (DESIGN.md §14).
+//
+// Wraps Clang's capability-based thread-safety analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) in SFN_ macros
+// that expand to nothing on compilers without the attributes, plus
+// annotated mutex/condvar primitives every lock-bearing component in the
+// repo uses instead of the raw std types (lint rule R9 enforces this
+// outside src/util/).
+//
+// The contract the analysis proves on every Clang build, independent of
+// which interleavings the test suite happens to execute:
+//   * state declared SFN_GUARDED_BY(mu) is only touched with `mu` held;
+//   * functions declared SFN_REQUIRES(mu) are only called with `mu` held,
+//     and SFN_EXCLUDES(mu) ones only without it (deadlock prevention);
+//   * every acquired capability is released on every path out of a scope.
+// tests/thread_safety_negative/ holds negative-compile fixtures proving
+// each annotation class actually fires — an analysis that cannot fail is
+// not an analysis.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SFN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(SFN_THREAD_ANNOTATION)
+#define SFN_THREAD_ANNOTATION(x)  // No-op outside Clang.
+#endif
+
+/// Type is a capability (a lock). The string names the capability kind in
+/// diagnostics ("mutex").
+#define SFN_CAPABILITY(x) SFN_THREAD_ANNOTATION(capability(x))
+
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (MutexLock below).
+#define SFN_SCOPED_CAPABILITY SFN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define SFN_GUARDED_BY(x) SFN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability (the
+/// pointer itself may be read freely).
+#define SFN_PT_GUARDED_BY(x) SFN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the capabilities (held on entry
+/// and on exit).
+#define SFN_REQUIRES(...) \
+  SFN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only while NOT holding the capabilities — the
+/// anti-deadlock annotation for public entry points that lock internally.
+#define SFN_EXCLUDES(...) SFN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SFN_ACQUIRE(...) \
+  SFN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held.
+#define SFN_RELEASE(...) \
+  SFN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SFN_TRY_ACQUIRE(...) \
+  SFN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (accessors).
+#define SFN_RETURN_CAPABILITY(x) SFN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Reserve for code
+/// whose discipline the analysis cannot express (e.g. lock-free
+/// publication protocols); pair with a comment citing the actual
+/// happens-before argument (DESIGN.md §14 policy).
+#define SFN_NO_THREAD_SAFETY_ANALYSIS \
+  SFN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sfn::util {
+
+/// Annotated exclusive mutex over std::mutex. Prefer MutexLock /
+/// ReleasableMutexLock for scoped holds; lock()/unlock() exist for the
+/// rare hand-over-hand pattern and for CondVar's internals.
+class SFN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SFN_ACQUIRE() { mu_.lock(); }
+  void unlock() SFN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SFN_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Condition variable bound to util::Mutex. Built on
+/// std::condition_variable_any, which waits on the annotated Mutex
+/// directly — the unlock/relock inside the wait happens in the standard
+/// library (a system header), where the analysis is silent, so callers
+/// keep their REQUIRES contract: held on entry, held on exit.
+///
+/// Deliberately no predicate overloads: the analysis cannot see the
+/// enclosing lock set inside a lambda, so a `wait(mu, [&]{ return
+/// guarded_state_; })` body would warn. Write the standard loop instead:
+///
+///   while (!guarded_state_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) SFN_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      SFN_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      SFN_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// Scoped lock: acquires on construction, releases on destruction.
+class SFN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SFN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() SFN_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock whose hold can end before the scope does — for the
+/// "unlock, then do slow work, then return" shape (e.g. the coalescer's
+/// run-inline-after-shutdown path). release() is idempotent-checked by
+/// the analysis: touching guarded state after it is a compile error.
+class SFN_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) SFN_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+  /// Release before end of scope. Must not be called twice.
+  void release() SFN_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+  ~ReleasableMutexLock() SFN_RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    }
+  }
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace sfn::util

@@ -14,8 +14,12 @@
 
 namespace sfn::util {
 
+// The three std::getenv calls below are the process's single sanctioned
+// env entry point (lint rule R2): reads only, at configuration time, and
+// nothing in the repo calls setenv — so the concurrency-mt-unsafe
+// concern (racing a concurrent environment write) cannot arise.
 long long env_int(const std::string& name, long long fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') {
     return fallback;
   }
@@ -25,7 +29,7 @@ long long env_int(const std::string& name, long long fallback) {
 }
 
 double env_double(const std::string& name, double fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') {
     return fallback;
   }
@@ -35,7 +39,7 @@ double env_double(const std::string& name, double fallback) {
 }
 
 std::string env_str(const std::string& name, const std::string& fallback) {
-  const char* raw = std::getenv(name.c_str());
+  const char* raw = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') {
     return fallback;
   }

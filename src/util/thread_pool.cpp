@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace sfn::util {
 
@@ -15,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,7 +29,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
+    if (stop_) {
+      // Workers drain the queue before exiting, but nothing re-checks it
+      // after the last join: a task slipped in post-shutdown would never
+      // run and its future would block forever. Fail loudly instead
+      // (§14 finding F1).
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
     tasks_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -61,8 +69,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) {
+        cv_.wait(mutex_);
+      }
       if (stop_ && tasks_.empty()) {
         return;
       }

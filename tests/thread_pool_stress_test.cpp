@@ -116,13 +116,13 @@ TEST(ThreadPoolStressTest, TasksSubmittingTasks) {
   ThreadPool pool(3);
   std::atomic<int> executed{0};
   std::vector<std::future<void>> outer;
-  std::mutex inner_mutex;
+  Mutex inner_mutex;
   std::vector<std::future<void>> inner;
   for (int t = 0; t < 32; ++t) {
     outer.push_back(pool.submit([&] {
       auto f = pool.submit(
           [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
-      const std::lock_guard<std::mutex> lock(inner_mutex);
+      const MutexLock lock(inner_mutex);
       inner.push_back(std::move(f));
     }));
   }

@@ -1,0 +1,61 @@
+// expect-clean
+//
+// Positive control: correct use of every annotation class must compile
+// with zero -Wthread-safety diagnostics. If this fixture ever fails, the
+// harness flags/include paths are broken and the negative fixtures below
+// would be passing vacuously.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    value_ += delta;
+  }
+
+  int value() SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void add_locked(int delta) SFN_REQUIRES(mutex_) { value_ += delta; }
+
+  void add_twice(int delta) SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    add_locked(delta);
+    add_locked(delta);
+  }
+
+  void wait_positive() SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    while (value_ <= 0) {
+      cv_.wait(mutex_);
+    }
+  }
+
+  void release_early() SFN_EXCLUDES(mutex_) {
+    sfn::util::ReleasableMutexLock lock(mutex_);
+    value_ += 1;
+    lock.release();
+    // Unguarded work after the release is fine.
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  sfn::util::CondVar cv_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  c.add_twice(2);
+  c.release_early();
+  c.wait_positive();
+  return c.value() == 6 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// expect: releasing mutex 'mutex_' that was not held
+//
+// Annotation class under test: SFN_RELEASE. Unlocking a mutex the
+// calling context does not hold (double unlock — undefined behaviour on
+// std::mutex) must be a compile error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    mutex_.lock();
+    value_ += delta;
+    mutex_.unlock();
+    mutex_.unlock();  // BAD: already released.
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// expect: cannot call function 'add' while mutex 'mutex_' is held
+//
+// Annotation class under test: SFN_EXCLUDES. Calling a self-locking
+// function while already holding its mutex (the classic re-entrant
+// deadlock) must be a compile error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    value_ += delta;
+  }
+
+  void add_both(int delta) SFN_EXCLUDES(mutex_) {
+    const sfn::util::MutexLock lock(mutex_);
+    add(delta);  // BAD: would self-deadlock on the non-recursive mutex.
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add_both(1);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// expect: reading variable 'value_' requires holding mutex 'mutex_'
+//
+// Annotation class under test: SFN_GUARDED_BY (read side). Reading a
+// guarded member without holding its mutex must be a compile error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int value() { return value_; }  // BAD: no lock held.
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.value();
+}

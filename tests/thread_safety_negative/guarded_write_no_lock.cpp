@@ -1,0 +1,25 @@
+// expect: writing variable 'value_' requires holding mutex 'mutex_' exclusively
+//
+// Annotation class under test: SFN_GUARDED_BY (write side). Writing a
+// guarded member without holding its mutex must be a compile error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) { value_ += delta; }  // BAD: no lock held.
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// expect: mutex 'mutex_' is still held at the end of function
+//
+// Annotation class under test: SFN_ACQUIRE without a matching
+// SFN_RELEASE on every path. A function that returns with the mutex
+// held (and does not advertise that in its signature) must be a compile
+// error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    mutex_.lock();
+    value_ += delta;
+    if (delta == 0) {
+      return;  // BAD: leaks the lock on this path.
+    }
+    mutex_.unlock();
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(0);
+  return 0;
+}

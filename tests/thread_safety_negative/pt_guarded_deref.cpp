@@ -1,0 +1,30 @@
+// expect: reading the value pointed to by 'value_' requires holding mutex 'mutex_'
+//
+// Annotation class under test: SFN_PT_GUARDED_BY. Dereferencing a
+// pointer whose pointee is guarded, without holding the mutex, must be a
+// compile error (reading the pointer itself stays legal).
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  Counter() : value_(new int(0)) {}
+  ~Counter() { delete value_; }
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  int value() { return *value_; }  // BAD: pointee read without the lock.
+
+ private:
+  sfn::util::Mutex mutex_;
+  int* value_ SFN_PT_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.value();
+}

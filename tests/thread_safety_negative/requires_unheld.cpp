@@ -1,0 +1,30 @@
+// expect: calling function 'add_locked' requires holding mutex 'mutex_'
+//
+// Annotation class under test: SFN_REQUIRES. Calling a function whose
+// contract demands the mutex, without holding it, must be a compile
+// error.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add_locked(int delta) SFN_REQUIRES(mutex_) { value_ += delta; }
+
+  void add(int delta) {
+    add_locked(delta);  // BAD: precondition mutex_ not held.
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

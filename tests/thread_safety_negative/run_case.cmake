@@ -1,0 +1,70 @@
+# Negative-compile runner for one thread-safety fixture (ctest case).
+#
+# Invoked in script mode with:
+#   -DCOMPILER=<path to C++ compiler>  -DCOMPILER_ID=<CMAKE_CXX_COMPILER_ID>
+#   -DSOURCE=<fixture .cpp>            -DINCLUDE_DIR=<repo src/>
+#
+# Semantics (CMake's try_compile cannot inspect diagnostics, so this
+# drives the compiler directly with -fsyntax-only — same effect, plus the
+# ability to assert WHICH diagnostic fired):
+#   * fixture contains `// expect-clean`  -> must compile with zero
+#     thread-safety warnings (positive control: proves the harness's
+#     flags/include paths are live, so the negative cases can't pass
+#     vacuously);
+#   * fixture contains `// expect: <re>`  -> compilation must FAIL and
+#     stderr must match <re> AND mention a -Wthread-safety group, proving
+#     the annotation class under test actually fires.
+#
+# On a non-Clang compiler the analysis does not exist; print the skip
+# token matched by the test's SKIP_REGULAR_EXPRESSION property.
+
+if(NOT COMPILER_ID MATCHES "Clang")
+  message(STATUS "SFN_TS_SKIP: thread-safety analysis needs Clang "
+                 "(compiler is ${COMPILER_ID})")
+  return()
+endif()
+
+file(READ "${SOURCE}" source_text)
+
+string(REGEX MATCH "// expect-clean" expect_clean "${source_text}")
+string(REGEX MATCH "// expect: ([^\n]*)" _ "${source_text}")
+set(expect_re "${CMAKE_MATCH_1}")
+
+if(NOT expect_clean AND expect_re STREQUAL "")
+  message(FATAL_ERROR "fixture ${SOURCE} declares neither "
+                      "'// expect: <regex>' nor '// expect-clean'")
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" -fsyntax-only -std=c++20
+          -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          -I "${INCLUDE_DIR}" "${SOURCE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(expect_clean)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "positive control failed to compile:\n${err}")
+  endif()
+  message(STATUS "ok: positive control compiled clean")
+  return()
+endif()
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "fixture compiled successfully — the thread-safety analysis did "
+          "not fire for this annotation class. An analysis that cannot "
+          "fail is not an analysis; check the flags and the fixture.")
+endif()
+if(NOT err MATCHES "thread-safety")
+  message(FATAL_ERROR
+          "fixture failed to compile, but not with a -Wthread-safety "
+          "diagnostic:\n${err}")
+endif()
+if(NOT err MATCHES "${expect_re}")
+  message(FATAL_ERROR
+          "expected diagnostic matching '${expect_re}', got:\n${err}")
+endif()
+message(STATUS "ok: failed to compile with the expected diagnostic")

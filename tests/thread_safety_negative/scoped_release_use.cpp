@@ -1,0 +1,32 @@
+// expect: requires holding mutex 'mutex_'
+//
+// Annotation class under test: SFN_SCOPED_CAPABILITY release tracking on
+// ReleasableMutexLock. After release(), the scope no longer holds the
+// capability, so touching guarded state must be a compile error even
+// though the RAII object is still alive.
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) SFN_EXCLUDES(mutex_) {
+    sfn::util::ReleasableMutexLock lock(mutex_);
+    value_ += delta;
+    lock.release();
+    value_ += delta;  // BAD: capability already released.
+  }
+
+ private:
+  sfn::util::Mutex mutex_;
+  int value_ SFN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -48,13 +48,25 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         microkernel interface, so the scalar-forced CI leg
                         (SFN_FORCE_SCALAR_KERNELS) and non-x86 ports only
                         ever have to stub one directory (DESIGN.md §13).
+  R9 raw-mutex          std::mutex, std::lock_guard, std::unique_lock,
+                        std::scoped_lock, std::shared_lock and
+                        std::condition_variable[_any] are forbidden
+                        outside src/util/: all locking goes through the
+                        annotated util::Mutex/CondVar/MutexLock wrappers
+                        (src/util/annotations.hpp) so Clang's
+                        -Wthread-safety analysis sees every acquisition
+                        (DESIGN.md §14). When libclang's Python binding
+                        and a compile_commands.json are available the
+                        rule runs as an AST pass (qualified-name exact,
+                        immune to comments/strings); otherwise it falls
+                        back to the same regex machinery as R1-R8.
 
 Escape hatches are deliberate annotations, not config: append
 `// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
 `// sfn-lint: allow-print` (R5), `// sfn-lint: allow-pcg` (R6),
-`// sfn-lint: allow-runtime-state` (R7) or `// sfn-lint:
-allow-intrinsics` (R8) to the offending line, with a reason, and the
-rule skips it.
+`// sfn-lint: allow-runtime-state` (R7), `// sfn-lint:
+allow-intrinsics` (R8) or `// sfn-lint: allow-raw-mutex` (R9) to the
+offending line, with a reason, and the rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -334,13 +346,201 @@ def rule_raw_intrinsics(root: pathlib.Path) -> None:
 
 
 # --------------------------------------------------------------------------
+# R9: raw std synchronisation primitives only under src/util/.
+#
+# Two implementations. The preferred one parses each TU with libclang and
+# resolves *qualified* names, so `std::mutex` hits while a hypothetical
+# `sfn::fake::mutex` or the word "mutex" in a comment does not, and
+# hits inside headers are attributed to the header line. When the
+# binding or the compilation database is missing the regex fallback runs
+# — same rule, coarser matcher.
+
+RAW_MUTEX_NAMES = frozenset({
+    "std::mutex", "std::recursive_mutex", "std::timed_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::lock_guard", "std::unique_lock",
+    "std::scoped_lock", "std::shared_lock", "std::condition_variable",
+    "std::condition_variable_any",
+})
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|shared_|recursive_timed_|shared_timed_)?"
+    r"mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+
+RAW_MUTEX_MSG = (
+    "raw std synchronisation primitive outside src/util/; use the "
+    "annotated util::Mutex/CondVar/MutexLock wrappers "
+    "(src/util/annotations.hpp) so -Wthread-safety sees the acquisition "
+    "(or annotate `// sfn-lint: allow-raw-mutex` with a reason)")
+
+
+def _raw_mutex_scope(root: pathlib.Path, path: pathlib.Path) -> bool:
+    """True when `path` is inside the rule's scope (R9 exempts src/util/,
+    where the wrappers themselves live)."""
+    util_dir = root / "src" / "util"
+    if path == util_dir or util_dir in path.parents:
+        return False
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if path == base or base in path.parents:
+            return True
+    return False
+
+
+def rule_raw_mutex_regex(root: pathlib.Path) -> None:
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.[ch]pp")):
+            if not _raw_mutex_scope(root, path):
+                continue
+            for line_no, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if "sfn-lint: allow-raw-mutex" in raw:
+                    continue
+                if RAW_MUTEX_RE.search(strip_line_comment(raw)):
+                    report("raw-mutex", path.relative_to(root), line_no,
+                           RAW_MUTEX_MSG)
+
+
+def _qualified_name(cursor) -> str:
+    """Fully qualified name of a libclang cursor (namespaces only —
+    template arguments are deliberately dropped so std::unique_lock<T>
+    matches for every T)."""
+    parts: list[str] = []
+    node = cursor
+    while node is not None and node.spelling:
+        kind = node.kind.name
+        if kind == "TRANSLATION_UNIT":
+            break
+        if kind in ("NAMESPACE", "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE",
+                    "CLASS_TEMPLATE_PARTIAL_SPECIALIZATION", "TYPEDEF_DECL",
+                    "TYPE_ALIAS_DECL"):
+            parts.append(node.spelling)
+        node = node.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def rule_raw_mutex_ast(root: pathlib.Path,
+                       build_dir: pathlib.Path | None) -> bool:
+    """AST implementation of R9. Returns False (caller falls back to the
+    regex pass) when libclang or the compilation database is missing or
+    parsing fails; partial results are discarded in that case."""
+    try:
+        from clang import cindex  # noqa: PLC0415 — optional dependency.
+    except ImportError:
+        return False
+
+    db_dir = None
+    for candidate in (build_dir, root):
+        if candidate and (candidate / "compile_commands.json").exists():
+            db_dir = candidate
+            break
+    if db_dir is None:
+        return False
+
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(db_dir))
+        index = cindex.Index.create()
+    except cindex.LibclangError:
+        return False
+
+    # Cursor kinds that can *name* a type or declaration at a use site.
+    ref_kinds = {
+        cindex.CursorKind.TYPE_REF,
+        cindex.CursorKind.TEMPLATE_REF,
+        cindex.CursorKind.DECL_REF_EXPR,
+        cindex.CursorKind.VAR_DECL,
+        cindex.CursorKind.FIELD_DECL,
+    }
+
+    hits: set[tuple[pathlib.Path, int]] = set()
+    line_cache: dict[pathlib.Path, list[str]] = {}
+
+    def source_line(path: pathlib.Path, line_no: int) -> str:
+        if path not in line_cache:
+            try:
+                line_cache[path] = path.read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                line_cache[path] = []
+        lines = line_cache[path]
+        return lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+
+    def referenced_name(cursor) -> str:
+        ref = cursor.referenced
+        if ref is None and cursor.kind in (cindex.CursorKind.VAR_DECL,
+                                           cindex.CursorKind.FIELD_DECL):
+            ref = cursor.type.get_declaration()
+        return _qualified_name(ref) if ref is not None else ""
+
+    def visit(cursor) -> None:
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is not None:
+                path = pathlib.Path(loc.file.name).resolve()
+                if _raw_mutex_scope(root, path):
+                    if (child.kind in ref_kinds
+                            and referenced_name(child) in RAW_MUTEX_NAMES
+                            and "sfn-lint: allow-raw-mutex"
+                            not in source_line(path, loc.line)):
+                        hits.add((path, loc.line))
+                    visit(child)  # Recurse only into our own files.
+
+    tus = sorted(str(p) for p in (root / "src").rglob("*.cpp"))
+    tus += sorted(str(p) for p in (root / "tests").glob("*.cpp"))
+    parsed = 0
+    for tu_path in tus:
+        commands = db.getCompileCommands(tu_path)
+        if not commands:
+            continue
+        # Drop the compiler argv0 and the input file; keep the flags.
+        args = [a for a in list(commands[0].arguments)[1:]
+                if a != tu_path and not a.startswith(("-o", "-c"))]
+        try:
+            tu = index.parse(tu_path, args=args)
+        except cindex.TranslationUnitLoadError:
+            continue
+        if any(d.severity >= cindex.Diagnostic.Fatal for d in tu.diagnostics):
+            continue  # Headers unresolved; regex fallback still covers it.
+        visit(tu.cursor)
+        parsed += 1
+
+    if parsed == 0:
+        return False
+    for path, line_no in sorted(hits):
+        report("raw-mutex", path.relative_to(root), line_no, RAW_MUTEX_MSG)
+    return True
+
+
+def rule_raw_mutex(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
+    try:
+        if rule_raw_mutex_ast(root, build_dir):
+            return "AST (libclang)"
+    except Exception as err:  # noqa: BLE001 — any binding breakage
+        sys.stderr.write(f"sfn_lint: libclang pass failed ({err}); "
+                         "falling back to regex\n")
+    rule_raw_mutex_regex(root)
+    return "regex fallback"
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
     tidy = shutil.which("clang-tidy")
     if tidy is None:
         return "skipped (clang-tidy not installed)"
-    if build_dir is None or not (build_dir / "compile_commands.json").exists():
+    # The build tree exports compile_commands.json and CMake mirrors it
+    # into the source root (top-level CMakeLists); accept either.
+    for candidate in (build_dir, root):
+        if candidate and (candidate / "compile_commands.json").exists():
+            build_dir = candidate
+            break
+    else:
         return "skipped (no compile_commands.json; configure with CMake first)"
     sources = sorted(str(p) for p in (root / "src").rglob("*.cpp"))
     proc = subprocess.run(
@@ -379,12 +579,14 @@ def main() -> int:
     rule_pcg_in_runtime(root)
     rule_serve_isolation(root)
     rule_raw_intrinsics(root)
+    mutex_mode = rule_raw_mutex(root, args.build_dir)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
     else:
         tidy_status = run_clang_tidy(root, args.build_dir)
 
-    print(f"sfn_lint: project rules checked, clang-tidy {tidy_status}")
+    print(f"sfn_lint: project rules checked (raw-mutex via {mutex_mode}), "
+          f"clang-tidy {tidy_status}")
     if FINDINGS:
         print(f"sfn_lint: {len(FINDINGS)} finding(s):")
         for finding in FINDINGS:

@@ -5,21 +5,37 @@
 // fixed sessions, then prints what the serving layer did: jobs completed,
 // coalescer batch/bypass counts, queue high-water marks, and a per-job
 // summary (decisions taken, models used, wall time). Environment knobs:
-// SFN_BATCH_MAX, SFN_BATCH_WAIT_US, SFN_SERVE_QUEUE (see README).
+// SFN_BATCH_MAX, SFN_BATCH_WAIT_US, SFN_SERVE_QUEUE, plus the
+// observability trio SFN_OBS_HTTP / SFN_EVENTLOG / SFN_FLIGHT (see
+// README). With SFN_OBS_HTTP set, --linger=N keeps the process (and the
+// /metrics endpoint) alive N seconds after the burst so an external
+// scraper — CI does exactly this — has a stable window to hit it.
 //
-// Usage: ./examples/serve_demo [--steps=24]
+// Usage: ./examples/serve_demo [--steps=24] [--linger=N]
 
 #include "core/smart_fluidnet.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/exporter.hpp"
 #include "serve/session_server.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 int main(int argc, char** argv) {
   using namespace sfn;
   const auto cfg = util::BenchConfig::from_args(argc, argv);
+  long long linger_s = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--linger=", 9) == 0) {
+      linger_s = std::atoll(argv[i] + 9);
+    }
+  }
 
   core::OfflineConfig config = core::OfflineConfig::tiny();
   config.training.epochs = 3;
@@ -41,6 +57,18 @@ int main(int argc, char** argv) {
               server_config.coalesce ? "on" : "off",
               server_config.batch.batch_max,
               server_config.batch.batch_wait_us);
+
+  // The SessionServer constructor armed the observability stack from the
+  // environment; report what came up so operators (and CI) can find it.
+  if (obs::global_exporter().running()) {
+    std::printf("Metrics endpoint: http://127.0.0.1:%d/metrics (+ /healthz, "
+                "/statz)\n",
+                obs::global_exporter().port());
+  }
+  if (obs::eventlog_enabled()) {
+    std::printf("Event log: %s\n",
+                util::env_str("SFN_EVENTLOG", "?").c_str());
+  }
 
   workload::ProblemSetParams params;
   params.grid = 32;
@@ -93,5 +121,12 @@ int main(int argc, char** argv) {
 
   server.shutdown();
   std::printf("\nServer drained and shut down cleanly.\n");
+
+  if (linger_s > 0 && obs::global_exporter().running()) {
+    std::printf("Lingering %llds for scrapes on port %d...\n", linger_s,
+                obs::global_exporter().port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+  }
   return 0;
 }

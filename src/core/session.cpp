@@ -44,12 +44,17 @@ void derive_timing(const std::vector<obs::TraceEvent>& events,
   result->seconds_per_model.clear();
   result->model_per_step.clear();
   result->fallback_seconds = 0.0;
+  // Per-step latency feeds the SLO histogram straight from the captured
+  // stream — the timing source of truth — so the step loop itself carries
+  // no extra clock reads.
+  static obs::Histogram& step_latency = obs::histogram("runtime.step_latency");
   for (const auto& ev : events) {
     const std::string_view name = ev.name;
     if (name == kStepScope && ev.has_arg) {
       const auto model_id = static_cast<std::size_t>(ev.arg);
       result->seconds_per_model[model_id] += ev.seconds();
       result->model_per_step.push_back(model_id);
+      step_latency.observe(ev.seconds());
     } else if (name == kFallbackScope) {
       result->fallback_seconds += ev.seconds();
     } else if (name == root_name) {

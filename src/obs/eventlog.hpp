@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sfn::obs {
+
+/// Structured JSON-lines event log (DESIGN.md §15).
+///
+/// One line per event, appended atomically under a single mutex so lines
+/// never interleave across threads. Timestamps are `obs::detail::
+/// now_seconds()` — monotonic seconds since the process trace epoch — so
+/// event-log lines and chrome-trace dumps share a clock and can be
+/// correlated in a post-mortem. The first line of every file is a
+/// `type:"meta"` record carrying build provenance (git SHA, build type,
+/// sanitizer preset), re-written after each rotation.
+///
+/// Enabled by `SFN_EVENTLOG=<path>` (with `SFN_EVENTLOG_MAX_MB` bounding
+/// the file size; on overflow the file rotates once to `<path>.1`) or
+/// programmatically via eventlog_open(). When disabled, emitting an event
+/// costs one relaxed atomic load.
+
+/// True when a sink is open. One relaxed load; safe from any thread.
+[[nodiscard]] bool eventlog_enabled();
+
+/// Open `path` for appending events, truncating any previous content and
+/// writing the meta line. `max_mb <= 0` means unbounded. Replaces any
+/// sink opened earlier (including one from SFN_EVENTLOG).
+void eventlog_open(const std::string& path, double max_mb = 0.0);
+
+/// Flush and close the current sink; emitting becomes a no-op again.
+void eventlog_close();
+
+/// Read SFN_EVENTLOG / SFN_EVENTLOG_MAX_MB once and open the sink when
+/// set. Called from the serving layer's entry points; repeat calls are
+/// no-ops. Returns eventlog_enabled() afterwards.
+bool eventlog_init_from_env();
+
+/// Builder for one event line. Collects fields, then writes the line on
+/// destruction (or emit()). When the log is disabled the builder is inert
+/// and field() calls do no work.
+///
+///   obs::Event("guard_trip")
+///       .field("session", label)
+///       .field("step", step)
+///       .field("residual", residual);
+class Event {
+ public:
+  explicit Event(std::string_view type);
+  ~Event();
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  Event(Event&& other) noexcept
+      : active_(std::exchange(other.active_, false)),
+        line_(std::move(other.line_)) {}
+  Event& operator=(Event&&) = delete;
+
+  Event& field(std::string_view key, std::string_view value);
+  Event& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  Event& field(std::string_view key, double value);
+  Event& field(std::string_view key, bool value);
+  /// All integral types funnel through one int64 overload so call sites
+  /// with int / size_t / uint64 arguments never hit double by accident.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Event& field(std::string_view key, T value) {
+    return field_int(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Write the line now (idempotent; the destructor does this otherwise).
+  void emit();
+
+ private:
+  Event& field_int(std::string_view key, std::int64_t value);
+
+  bool active_ = false;
+  std::string line_;
+};
+
+/// Test/inspection helper: read back every line of a JSONL file. Returns
+/// raw lines; callers parse. Empty on missing file.
+[[nodiscard]] std::vector<std::string> eventlog_read_lines(
+    const std::string& path);
+
+}  // namespace sfn::obs

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace sfn::obs {
+
+/// Minimal HTTP metrics exposition endpoint (DESIGN.md §15).
+///
+/// A single background thread accepts loopback connections and serves:
+///
+///   /metrics  — the metrics registry in Prometheus text format.
+///               Histograms render as summaries with p50/p95/p99
+///               `quantile` labels plus `_sum`/`_count`; composed
+///               `base{key="value"}` registry names become real label
+///               sets. Dots in instrument names map to underscores (the
+///               dotted name rides in the # HELP line).
+///   /healthz  — 200 "ok\n" liveness probe.
+///   /statz    — JSON snapshot of every instrument (full histogram
+///               stats), build provenance, and trace-drop counters.
+///
+/// Requests are handled sequentially — this is an operational scrape
+/// target (one Prometheus poller, the odd curl), not a web server. The
+/// listener binds 127.0.0.1 only; port 0 picks an ephemeral port,
+/// re-read via port(). The accept loop polls with a 200 ms timeout and
+/// checks an atomic stop flag, so stop() completes without racing a
+/// close() against a blocked accept().
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Bind + listen + start the serving thread. Returns false (and stays
+  /// stopped) when the port cannot be bound. No-op when already running.
+  bool start(int port);
+
+  /// Stop the serving thread and close the socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (useful with start(0)); 0 when not running.
+  [[nodiscard]] int port() const {
+    return port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve_loop(int listen_fd);
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+};
+
+/// Render the whole registry in Prometheus text exposition format. Pure
+/// function over the registry; the endpoint and the tests share it.
+[[nodiscard]] std::string render_prometheus();
+
+/// Render the /statz JSON snapshot.
+[[nodiscard]] std::string render_statz();
+
+/// Start the process-wide exporter when SFN_OBS_HTTP is set (port
+/// number; 0 = ephemeral). Repeat calls are no-ops. Returns the bound
+/// port, or 0 when disabled/failed.
+int exporter_init_from_env();
+
+/// The process-wide exporter instance (started by exporter_init_from_env
+/// or manually). Never destroyed.
+[[nodiscard]] MetricsExporter& global_exporter();
+
+}  // namespace sfn::obs

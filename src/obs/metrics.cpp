@@ -79,6 +79,18 @@ void set_metrics_enabled(bool enabled) {
   g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
+const std::array<double, Histogram::kBins>& Histogram::bucket_upper_edges() {
+  // Magic-static: computed once, shared by every histogram and renderer.
+  static const std::array<double, kBins> edges = [] {
+    std::array<double, kBins> e{};
+    for (int i = 0; i < kBins; ++i) {
+      e[static_cast<std::size_t>(i)] = std::ldexp(1.0, i - kBinOffset + 1);
+    }
+    return e;
+  }();
+  return edges;
+}
+
 void Histogram::observe(double v) {
   if (!metrics_enabled()) {
     return;
@@ -112,22 +124,29 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
-double Histogram::approx_quantile(double p) const {
-  const Snapshot s = snapshot();
-  if (s.count == 0) {
+double Histogram::Snapshot::quantile(double p) const {
+  if (count == 0) {
     return 0.0;
   }
   p = std::clamp(p, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      p * static_cast<double>(s.count - 1));
+  const auto target =
+      static_cast<std::uint64_t>(p * static_cast<double>(count - 1));
+  const auto& edges = bucket_upper_edges();
   std::uint64_t seen = 0;
   for (int i = 0; i < kBins; ++i) {
-    seen += s.bins[static_cast<std::size_t>(i)];
+    seen += bins[static_cast<std::size_t>(i)];
     if (seen > target) {
-      return std::ldexp(1.0, i - kBinOffset + 1);  // Upper bin edge.
+      // Upper bin edge, capped at the observed max so tail quantiles do
+      // not overshoot the data by up to a full power of two.
+      return max > 0.0 ? std::min(edges[static_cast<std::size_t>(i)], max)
+                       : edges[static_cast<std::size_t>(i)];
     }
   }
-  return s.max;
+  return max;
+}
+
+double Histogram::approx_quantile(double p) const {
+  return snapshot().quantile(p);
 }
 
 void Histogram::reset() {
@@ -173,6 +192,46 @@ Histogram& histogram(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+namespace {
+
+/// Compose the registry key `base{key="value"}`. Label values are
+/// restricted to the characters that survive both Prometheus label
+/// syntax and the JSON /statz renderer unescaped.
+std::string labeled_name(std::string_view base, std::string_view key,
+                         std::string_view value) {
+  std::string name;
+  name.reserve(base.size() + key.size() + value.size() + 5);
+  name.append(base);
+  name.push_back('{');
+  name.append(key);
+  name.append("=\"");
+  for (const char c : value) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.' || c == ':' || c == ' ';
+    name.push_back(ok ? c : '_');
+  }
+  name.append("\"}");
+  return name;
+}
+
+}  // namespace
+
+Counter& counter_labeled(std::string_view base, std::string_view key,
+                         std::string_view value) {
+  return counter(labeled_name(base, key, value));
+}
+
+Gauge& gauge_labeled(std::string_view base, std::string_view key,
+                     std::string_view value) {
+  return gauge(labeled_name(base, key, value));
+}
+
+Histogram& histogram_labeled(std::string_view base, std::string_view key,
+                             std::string_view value) {
+  return histogram(labeled_name(base, key, value));
 }
 
 std::vector<MetricValue> all_metrics() {

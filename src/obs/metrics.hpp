@@ -79,6 +79,11 @@ class Histogram {
   static constexpr int kBins = 64;
   static constexpr int kBinOffset = 40;  ///< Bin 40 covers [1, 2).
 
+  /// Shared, static upper bin edges: edge[i] = 2^(i - kBinOffset + 1).
+  /// Computed once at first use; both the exporter and the table renderers
+  /// read this one table instead of recomputing edges per call.
+  [[nodiscard]] static const std::array<double, kBins>& bucket_upper_edges();
+
   void observe(double v);
 
   struct Snapshot {
@@ -91,11 +96,15 @@ class Histogram {
     [[nodiscard]] double mean() const {
       return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
+    /// Approximate p-quantile (0..1) from the magnitude bins: the upper
+    /// edge of the bin holding the p-th sample, capped at the observed
+    /// max. Coarse by design; the single quantile implementation shared
+    /// by the exporter and the live approx_quantile() path.
+    [[nodiscard]] double quantile(double p) const;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
-  /// Approximate p-quantile (0..1) from the magnitude bins: the upper
-  /// edge of the bin holding the p-th sample. Coarse by design.
+  /// Convenience: snapshot().quantile(p).
   [[nodiscard]] double approx_quantile(double p) const;
 
   void reset();
@@ -123,6 +132,20 @@ class Histogram {
 [[nodiscard]] Counter& counter(std::string_view name);
 [[nodiscard]] Gauge& gauge(std::string_view name);
 [[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Labeled variants: compose `base{key="value"}` registry entries for
+/// bounded-cardinality dimensions (session mode, flush reason — never
+/// per-job ids). The exporter splits the composed name back into family
+/// and label set; call sites outside src/obs must still pass a literal
+/// `base` that satisfies lint rule R10.
+[[nodiscard]] Counter& counter_labeled(std::string_view base,
+                                       std::string_view key,
+                                       std::string_view value);
+[[nodiscard]] Gauge& gauge_labeled(std::string_view base, std::string_view key,
+                                   std::string_view value);
+[[nodiscard]] Histogram& histogram_labeled(std::string_view base,
+                                           std::string_view key,
+                                           std::string_view value);
 
 struct MetricValue {
   std::string name;

@@ -1,5 +1,6 @@
 #include "runtime/controller.hpp"
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -115,6 +116,15 @@ void ModelSwitchController::push_event(int step, Decision decision,
   event.cum_div_norm = cum_div_norm;
   event.seconds_offset = clock_.seconds();
   events_.push_back(event);
+  if (decision != Decision::kKeep) {
+    obs::Event("switch_decision")
+        .field("step", step)
+        .field("decision", to_string(decision))
+        .field("from", static_cast<std::uint64_t>(from))
+        .field("to", static_cast<std::uint64_t>(to))
+        .field("predicted_qloss", last_predicted_quality_)
+        .field("cum_div_norm", cum_div_norm);
+  }
 }
 
 std::optional<Decision> ModelSwitchController::on_step(int step,

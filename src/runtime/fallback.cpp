@@ -1,9 +1,12 @@
 #include "runtime/fallback.hpp"
 
+#include "obs/eventlog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/config.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
@@ -98,6 +101,11 @@ fluid::GuardOutcome FallbackPolicy::inspect(const fluid::FlagGrid& flags,
   static obs::Counter& fallbacks = obs::counter("runtime.fallbacks");
   fallbacks.add();
   ++fallbacks_;
+  obs::Event("guard_trip")
+      .field("relative_residual", relative)
+      .field("bad_cells", bad_cells)
+      .field("non_finite", solve.non_finite);
+  obs::flight_report_guard_trip(0);
 
   // Warm start from the rejected prediction only when it is fully finite
   // and beats the trivial guess (relative residual of p = 0 is exactly
@@ -108,7 +116,14 @@ fluid::GuardOutcome FallbackPolicy::inspect(const fluid::FlagGrid& flags,
     pressure->fill(0.0f);
   }
   outcome.fallback = true;
+  const auto solve_begin = std::chrono::steady_clock::now();
   outcome.fallback_solve = pcg_.solve(flags, rhs, pressure);
+  static obs::Histogram& fallback_latency =
+      obs::histogram("runtime.fallback_latency");
+  fallback_latency.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_begin)
+          .count());
   return outcome;
 }
 

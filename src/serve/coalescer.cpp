@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string_view>
 
 namespace sfn::serve {
 
@@ -25,6 +26,33 @@ obs::Gauge& queue_depth_gauge() {
 obs::Gauge& queue_peak_gauge() {
   static obs::Gauge& g = obs::gauge("serve.queue_depth_peak");
   return g;
+}
+/// Wall time of one dispatcher execute() — the latency a batched request
+/// pays on top of its own forward.
+obs::Histogram& dispatch_latency_histogram() {
+  static obs::Histogram& h = obs::histogram("serve.dispatch_latency");
+  return h;
+}
+/// Why each micro-batch window closed (bounded label set).
+obs::Counter& flush_reason_counter(const char* reason) {
+  static obs::Counter& max_c =
+      obs::counter_labeled("serve.batch_flush", "reason", "max");
+  static obs::Counter& timeout_c =
+      obs::counter_labeled("serve.batch_flush", "reason", "timeout");
+  static obs::Counter& all_waiting_c =
+      obs::counter_labeled("serve.batch_flush", "reason", "all_waiting");
+  static obs::Counter& shutdown_c =
+      obs::counter_labeled("serve.batch_flush", "reason", "shutdown");
+  if (reason == std::string_view("max")) {
+    return max_c;
+  }
+  if (reason == std::string_view("timeout")) {
+    return timeout_c;
+  }
+  if (reason == std::string_view("all_waiting")) {
+    return all_waiting_c;
+  }
+  return shutdown_c;
 }
 
 }  // namespace
@@ -133,17 +161,24 @@ void InferenceCoalescer::dispatcher_loop() {
       // During shutdown the window collapses: drain immediately.
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::microseconds(config_.batch_wait_us);
+      const char* flush_reason = "max";
       while (!stop_ && queue_.size() < config_.batch_max) {
         const auto active = static_cast<std::size_t>(
             std::max(1, active_sessions_.load(std::memory_order_relaxed)));
         if (queue_.size() >= active) {
+          flush_reason = "all_waiting";
           break;
         }
         if (arrival_cv_.wait_until(mutex_, deadline) ==
             std::cv_status::timeout) {
+          flush_reason = "timeout";
           break;
         }
       }
+      if (stop_) {
+        flush_reason = "shutdown";
+      }
+      flush_reason_counter(flush_reason).add();
 
       if (queue_.size() > config_.batch_max) {
         // Oversized backlog (e.g. after a timeout storm): take one full
@@ -178,6 +213,7 @@ void InferenceCoalescer::dispatcher_loop() {
 
 void InferenceCoalescer::execute(const std::vector<Request*>& batch) {
   SFN_TRACE_SCOPE("serve.dispatch");
+  const auto dispatch_begin = std::chrono::steady_clock::now();
   // Group by model identity. Sessions share weights, so requests for the
   // same architecture carry the same Network pointer; ordering the groups
   // by pointer is fine — grouping only affects scheduling, never values.
@@ -225,6 +261,10 @@ void InferenceCoalescer::execute(const std::vector<Request*>& batch) {
     }
     i = j;
   }
+  dispatch_latency_histogram().observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    dispatch_begin)
+          .count());
 }
 
 void InferenceCoalescer::shutdown() {

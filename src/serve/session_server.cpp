@@ -1,5 +1,8 @@
 #include "serve/session_server.hpp"
 
+#include "obs/eventlog.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/config.hpp"
@@ -23,6 +26,32 @@ obs::Counter& rejected_counter() {
   static obs::Counter& c = obs::counter("serve.jobs_rejected");
   return c;
 }
+obs::Counter& failed_counter() {
+  static obs::Counter& c = obs::counter("serve.jobs_failed");
+  return c;
+}
+obs::Histogram& queue_wait_hist() {
+  static obs::Histogram& h = obs::histogram("serve.queue_wait");
+  return h;
+}
+obs::Histogram& job_duration_hist(bool adaptive) {
+  // Per-mode label set, bounded cardinality (two modes, not per-job ids).
+  static obs::Histogram& adaptive_h =
+      obs::histogram_labeled("serve.job_duration", "mode", "adaptive");
+  static obs::Histogram& fixed_h =
+      obs::histogram_labeled("serve.job_duration", "mode", "fixed");
+  return adaptive ? adaptive_h : fixed_h;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const char* kind_name(bool adaptive) {
+  return adaptive ? "adaptive" : "fixed";
+}
 
 }  // namespace
 
@@ -38,7 +67,14 @@ ServerConfig ServerConfig::from_env() {
 SessionServer::SessionServer(ServerConfig config)
     : config_(config),
       coalescer_(config.batch),
-      pool_(std::max<std::size_t>(1, config.session_threads)) {}
+      pool_(std::max<std::size_t>(1, config.session_threads)) {
+  // The serving tier is the operational entry point: bring up the
+  // observability sinks configured in the environment (no-ops when the
+  // SFN_OBS_HTTP / SFN_EVENTLOG / SFN_FLIGHT variables are unset).
+  obs::eventlog_init_from_env();
+  obs::exporter_init_from_env();
+  obs::flight_init_from_env();
+}
 
 SessionServer::~SessionServer() { shutdown(); }
 
@@ -52,6 +88,10 @@ SessionServer::JobId SessionServer::enqueue(Job job, bool may_block) {
     if (queued_ >= config_.queue_capacity) {
       if (!may_block || config_.overflow == ServerConfig::Overflow::kReject) {
         rejected_counter().add();
+        obs::Event("session_rejected")
+            .field("mode", kind_name(job.kind == Kind::kAdaptive))
+            .field("queue_capacity",
+                   static_cast<std::uint64_t>(config_.queue_capacity));
         throw QueueFullError(config_.queue_capacity);
       }
       while (accepting_ && queued_ >= config_.queue_capacity) {
@@ -64,6 +104,7 @@ SessionServer::JobId SessionServer::enqueue(Job job, bool may_block) {
     id = next_id_++;
     ++queued_;
     queue_high_water_ = std::max(queue_high_water_, queued_);
+    job.submitted = std::chrono::steady_clock::now();
     jobs_.emplace(id, std::make_unique<Job>(std::move(job)));
   }
   pool_.submit([this, id] { run_job(id); });
@@ -137,6 +178,15 @@ void SessionServer::run_job(JobId id) {
   }
   space_cv_.notify_one();
 
+  const double queue_wait_s = seconds_since(job->submitted);
+  queue_wait_hist().observe(queue_wait_s);
+  const bool adaptive = job->kind == Kind::kAdaptive;
+  obs::Event("session_start")
+      .field("job", id)
+      .field("mode", kind_name(adaptive))
+      .field("queue_wait_ms", queue_wait_s * 1000.0);
+  const auto run_begin = std::chrono::steady_clock::now();
+
   // Per-session isolation: everything mutable (controller, fallback,
   // workspaces, the TraceCapture feeding derive_timing) is created inside
   // run_adaptive/run_fixed on this worker thread. The only shared pieces
@@ -159,6 +209,20 @@ void SessionServer::run_job(JobId id) {
     error = std::current_exception();
   }
   coalescer_.session_finished();
+
+  const double job_s = seconds_since(run_begin);
+  job_duration_hist(adaptive).observe(job_s);
+  if (error) {
+    failed_counter().add();
+  }
+  obs::Event("session_end")
+      .field("job", id)
+      .field("mode", kind_name(adaptive))
+      .field("ok", !error)
+      .field("job_ms", job_s * 1000.0)
+      .field("fallback_steps", result.fallback_steps);
+  obs::flight_check_job_slo("job-" + std::to_string(id),
+                            queue_wait_s * 1000.0, job_s * 1000.0);
 
   {
     const util::MutexLock lock(mutex_);

@@ -6,6 +6,7 @@
 #include "util/thread_pool.hpp"
 #include "workload/problems.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -139,6 +140,9 @@ class SessionServer {
     const core::TrainedModel* model = nullptr;
     const core::OfflineArtifacts* artifacts = nullptr;
     core::SessionConfig session;
+    /// Set at enqueue; read by the worker for the serve.queue_wait
+    /// histogram (published with the submission fields, immutable after).
+    std::chrono::steady_clock::time_point submitted;
     bool done = false;
     bool redeemed = false;
     core::SessionResult result;

@@ -1,0 +1,179 @@
+// Structured event-log tests: schema round-trip through a real file,
+// escaping, the non-finite-double guard, size-bounded rotation, and an
+// end-to-end validation of a written log by tools/check_trace.py
+// --eventlog (the same check CI runs against serve_demo's log).
+
+#include "obs/eventlog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sfn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(EventLog, DisabledBuilderIsInert) {
+  obs::eventlog_close();
+  EXPECT_FALSE(obs::eventlog_enabled());
+  // Field calls on a disabled builder must be free of side effects.
+  obs::Event("ignored").field("key", "value").field("n", 7);
+}
+
+TEST(EventLog, SchemaRoundTrip) {
+  const std::string path = temp_path("sfn_eventlog_roundtrip.jsonl");
+  obs::eventlog_open(path);
+  ASSERT_TRUE(obs::eventlog_enabled());
+
+  obs::Event("guard_trip")
+      .field("session", "job-1")
+      .field("step", 7)
+      .field("ok", true)
+      .field("residual", 0.25);
+  {
+    // Destructor emission: the builder writes on scope exit too.
+    obs::Event event("session_end");
+    event.field("job", std::uint64_t{42}).field("ok", false);
+  }
+  obs::eventlog_close();
+  EXPECT_FALSE(obs::eventlog_enabled());
+
+  const auto lines = obs::eventlog_read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+
+  // First line: the meta record with build provenance.
+  EXPECT_TRUE(contains(lines[0], "\"type\":\"meta\"")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"ts\":")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"git_sha\":\"")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"build_type\":\"")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"sanitize\":\"")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"check_numerics\":\"")) << lines[0];
+
+  // Second line: every field kind serialized with its JSON type.
+  EXPECT_TRUE(lines[1].rfind("{\"type\":\"guard_trip\",\"ts\":", 0) == 0)
+      << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"session\":\"job-1\"")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"step\":7")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"ok\":true")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"residual\":0.25")) << lines[1];
+  EXPECT_EQ(lines[1].back(), '}');
+
+  EXPECT_TRUE(contains(lines[2], "\"type\":\"session_end\"")) << lines[2];
+  EXPECT_TRUE(contains(lines[2], "\"job\":42")) << lines[2];
+  EXPECT_TRUE(contains(lines[2], "\"ok\":false")) << lines[2];
+}
+
+TEST(EventLog, NonFiniteDoublesBecomeNull) {
+  const std::string path = temp_path("sfn_eventlog_nonfinite.jsonl");
+  obs::eventlog_open(path);
+  obs::Event("guard_trip")
+      .field("nan_residual", std::numeric_limits<double>::quiet_NaN())
+      .field("inf_residual", std::numeric_limits<double>::infinity())
+      .field("finite", 1.5);
+  obs::eventlog_close();
+
+  const auto lines = obs::eventlog_read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(contains(lines[1], "\"nan_residual\":null")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"inf_residual\":null")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "\"finite\":1.5")) << lines[1];
+  // No bare non-finite tokens in value position (keys may contain them).
+  EXPECT_FALSE(contains(lines[1], ":nan")) << lines[1];
+  EXPECT_FALSE(contains(lines[1], ":inf")) << lines[1];
+}
+
+TEST(EventLog, StringsAreEscapedToOneLine) {
+  const std::string path = temp_path("sfn_eventlog_escape.jsonl");
+  obs::eventlog_open(path);
+  obs::Event("session_rejected")
+      .field("why", "quote \" backslash \\ newline \n tab \t end");
+  obs::eventlog_close();
+
+  const auto lines = obs::eventlog_read_lines(path);
+  // A raw newline in a value would split the record across lines.
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(contains(
+      lines[1], "quote \\\" backslash \\\\ newline \\n tab \\t end"))
+      << lines[1];
+}
+
+TEST(EventLog, RotationBoundsTheFileAndRewritesMeta) {
+  const std::string path = temp_path("sfn_eventlog_rotate.jsonl");
+  const std::string backup = path + ".1";
+  std::filesystem::remove(backup);
+  // ~524-byte cap: a handful of ~110-byte lines per generation.
+  const double max_mb = 0.0005;
+  obs::eventlog_open(path, max_mb);
+  const std::string pad(48, 'x');
+  for (int i = 0; i < 40; ++i) {
+    obs::Event("rotation_probe").field("seq", i).field("pad", pad);
+  }
+  obs::eventlog_close();
+
+  const auto max_bytes =
+      static_cast<std::uintmax_t>(max_mb * 1024.0 * 1024.0);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(backup));
+  EXPECT_LE(std::filesystem::file_size(path), max_bytes);
+  EXPECT_LE(std::filesystem::file_size(backup), max_bytes);
+
+  // Both generations stay machine-parseable: meta first, then events.
+  for (const std::string& file : {backup, path}) {
+    const auto lines = obs::eventlog_read_lines(file);
+    ASSERT_GE(lines.size(), 2u) << file;
+    EXPECT_TRUE(contains(lines[0], "\"type\":\"meta\"")) << file;
+    for (const auto& line : lines) {
+      EXPECT_TRUE(line.front() == '{' && line.back() == '}') << line;
+      EXPECT_TRUE(contains(line, "\"ts\":")) << line;
+    }
+  }
+}
+
+TEST(EventLog, ReopenReplacesTheSink) {
+  const std::string first = temp_path("sfn_eventlog_first.jsonl");
+  const std::string second = temp_path("sfn_eventlog_second.jsonl");
+  obs::eventlog_open(first);
+  obs::Event("session_start").field("job", 1);
+  obs::eventlog_open(second);
+  obs::Event("session_start").field("job", 2);
+  obs::eventlog_close();
+
+  EXPECT_EQ(obs::eventlog_read_lines(first).size(), 2u);
+  const auto lines = obs::eventlog_read_lines(second);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(contains(lines[1], "\"job\":2")) << lines[1];
+}
+
+TEST(EventLog, CheckTraceToolAcceptsTheLog) {
+  if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  const std::string path = temp_path("sfn_eventlog_checked.jsonl");
+  obs::eventlog_open(path);
+  obs::Event("session_start").field("job", 1).field("mode", "adaptive");
+  obs::Event("guard_trip").field("relative_residual", 3.5);
+  obs::Event("session_end").field("job", 1).field("ok", true);
+  obs::eventlog_close();
+
+  const std::string cmd = std::string("python3 \"") + SFN_TOOLS_DIR +
+                          "/check_trace.py\" --eventlog \"" + path +
+                          "\" --expect-type guard_trip "
+                          "--expect-type session_end --min-events 4";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+}
+
+}  // namespace
+}  // namespace sfn

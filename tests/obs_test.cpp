@@ -81,18 +81,18 @@ void spin_for(double seconds) {
 TEST_F(ObsTest, ScopesRecordEventsInFullMode) {
   obs::set_trace_mode(obs::TraceMode::kFull);
   {
-    SFN_TRACE_SCOPE("obs_test.outer");
+    SFN_TRACE_SCOPE("obstest.outer");
     spin_for(1e-4);
     {
-      SFN_TRACE_SCOPE("obs_test.inner");
+      SFN_TRACE_SCOPE("obstest.inner");
       spin_for(1e-4);
     }
   }
   const auto events = obs::snapshot_events();
   ASSERT_EQ(events.size(), 2u);
   // Snapshot is ordered by begin time: outer opened first.
-  EXPECT_STREQ(events[0].name, "obs_test.outer");
-  EXPECT_STREQ(events[1].name, "obs_test.inner");
+  EXPECT_STREQ(events[0].name, "obstest.outer");
+  EXPECT_STREQ(events[1].name, "obstest.inner");
   EXPECT_EQ(events[0].depth, 0);
   EXPECT_EQ(events[1].depth, 1);
   EXPECT_GE(events[0].seconds(), events[1].seconds());
@@ -104,14 +104,14 @@ TEST_F(ObsTest, ScopesRecordEventsInFullMode) {
 TEST_F(ObsTest, SummaryModeAggregatesWithoutEvents) {
   obs::set_trace_mode(obs::TraceMode::kSummary);
   for (int i = 0; i < 5; ++i) {
-    SFN_TRACE_SCOPE("obs_test.summary_scope");
+    SFN_TRACE_SCOPE("obstest.summary_scope");
     spin_for(1e-5);
   }
   EXPECT_TRUE(obs::snapshot_events().empty());
   const auto stats = obs::aggregate_scope_stats();
   const auto it = std::find_if(
       stats.begin(), stats.end(),
-      [](const obs::ScopeStats& s) { return s.name == "obs_test.summary_scope"; });
+      [](const obs::ScopeStats& s) { return s.name == "obstest.summary_scope"; });
   ASSERT_NE(it, stats.end());
   EXPECT_EQ(it->count, 5u);
   EXPECT_GT(it->total_s, 0.0);
@@ -122,14 +122,14 @@ TEST_F(ObsTest, SummaryModeAggregatesWithoutEvents) {
 TEST_F(ObsTest, ChromeTraceRoundTripReconstructsPhaseTree) {
   obs::set_trace_mode(obs::TraceMode::kFull);
   {
-    SFN_TRACE_SCOPE("obs_test.root");
+    SFN_TRACE_SCOPE("obstest.root");
     spin_for(1e-4);
     {
-      SFN_TRACE_SCOPE("obs_test.child_a");
+      SFN_TRACE_SCOPE("obstest.child_a");
       spin_for(1e-4);
     }
     {
-      SFN_TRACE_SCOPE_ID("obs_test.child_b", 7);
+      SFN_TRACE_SCOPE_ID("obstest.child_b", 7);
       spin_for(1e-4);
     }
   }
@@ -148,9 +148,9 @@ TEST_F(ObsTest, ChromeTraceRoundTripReconstructsPhaseTree) {
     ADD_FAILURE() << "missing event " << name;
     return obs::ParsedEvent{};
   };
-  const auto root = find("obs_test.root");
-  const auto child_a = find("obs_test.child_a");
-  const auto child_b = find("obs_test.child_b");
+  const auto root = find("obstest.root");
+  const auto child_a = find("obstest.child_a");
+  const auto child_b = find("obstest.child_b");
 
   EXPECT_EQ(root.depth, 0);
   EXPECT_EQ(child_a.depth, 1);
@@ -179,16 +179,16 @@ TEST_F(ObsTest, DisabledPathDoesNotAllocate) {
   obs::set_trace_mode(obs::TraceMode::kOff);
   // Warm up: first lookup of a metric name registers it (allocates once);
   // steady-state call sites hold cached references, mirrored here.
-  obs::Counter& counter = obs::counter("obs_test.disabled_counter");
-  obs::Histogram& hist = obs::histogram("obs_test.disabled_hist");
+  obs::Counter& counter = obs::counter("obstest.disabled_counter");
+  obs::Histogram& hist = obs::histogram("obstest.disabled_hist");
   {
-    SFN_TRACE_SCOPE("obs_test.disabled_scope");
+    SFN_TRACE_SCOPE("obstest.disabled_scope");
   }
 
   g_alloc_count.store(0);
   g_count_allocs.store(true);
   for (int i = 0; i < 1000; ++i) {
-    SFN_TRACE_SCOPE("obs_test.disabled_scope");
+    SFN_TRACE_SCOPE("obstest.disabled_scope");
     counter.add();
     hist.observe(1.5);
   }
@@ -201,12 +201,12 @@ TEST_F(ObsTest, DisabledPathDoesNotAllocate) {
 TEST_F(ObsTest, EnabledScopesDoNotAllocateEither) {
   obs::set_trace_mode(obs::TraceMode::kFull);
   {
-    SFN_TRACE_SCOPE("obs_test.enabled_scope");  // Warm up thread buffer.
+    SFN_TRACE_SCOPE("obstest.enabled_scope");  // Warm up thread buffer.
   }
   g_alloc_count.store(0);
   g_count_allocs.store(true);
   for (int i = 0; i < 100; ++i) {
-    SFN_TRACE_SCOPE("obs_test.enabled_scope");
+    SFN_TRACE_SCOPE("obstest.enabled_scope");
   }
   g_count_allocs.store(false);
   EXPECT_EQ(0u, g_alloc_count.load())
@@ -214,8 +214,8 @@ TEST_F(ObsTest, EnabledScopesDoNotAllocateEither) {
 }
 
 TEST_F(ObsTest, CountersAreConsistentAcrossThreads) {
-  obs::Counter& counter = obs::counter("obs_test.mt_counter");
-  obs::Histogram& hist = obs::histogram("obs_test.mt_hist");
+  obs::Counter& counter = obs::counter("obstest.mt_counter");
+  obs::Histogram& hist = obs::histogram("obstest.mt_hist");
   counter.reset();
   hist.reset();
 
@@ -228,7 +228,7 @@ TEST_F(ObsTest, CountersAreConsistentAcrossThreads) {
       // Every thread also traces, so the per-thread buffer registration
       // and aggregate updates run concurrently under TSan.
       for (int i = 0; i < kPerThread; ++i) {
-        SFN_TRACE_SCOPE("obs_test.mt_scope");
+        SFN_TRACE_SCOPE("obstest.mt_scope");
         counter.add();
         hist.observe(static_cast<double>(t + 1));
       }
@@ -251,7 +251,7 @@ TEST_F(ObsTest, CountersAreConsistentAcrossThreads) {
 }
 
 TEST_F(ObsTest, DisabledMetricsDropUpdates) {
-  obs::Counter& counter = obs::counter("obs_test.gated_counter");
+  obs::Counter& counter = obs::counter("obstest.gated_counter");
   counter.reset();
   obs::set_metrics_enabled(false);
   counter.add(5);
@@ -262,7 +262,7 @@ TEST_F(ObsTest, DisabledMetricsDropUpdates) {
 }
 
 TEST_F(ObsTest, HistogramQuantilesAreMonotone) {
-  obs::Histogram& hist = obs::histogram("obs_test.quantile_hist");
+  obs::Histogram& hist = obs::histogram("obstest.quantile_hist");
   hist.reset();
   for (int i = 1; i <= 1024; ++i) {
     hist.observe(static_cast<double>(i));
@@ -278,8 +278,8 @@ TEST_F(ObsTest, HistogramQuantilesAreMonotone) {
 }
 
 TEST_F(ObsTest, MetricsTableListsRegisteredInstruments) {
-  obs::counter("obs_test.table_counter").add(3);
-  obs::gauge("obs_test.table_gauge").set(1.25);
+  obs::counter("obstest.table_counter").add(3);
+  obs::gauge("obstest.table_gauge").set(1.25);
   const auto table = obs::metrics_table();
   EXPECT_GE(table.rows(), 2u);
   const auto metrics = obs::all_metrics();
@@ -294,12 +294,12 @@ TEST_F(ObsTest, TraceCaptureReceivesEventsWithTracingOff) {
   obs::set_trace_mode(obs::TraceMode::kOff);
   obs::TraceCapture capture;
   {
-    SFN_TRACE_SCOPE("obs_test.captured");
+    SFN_TRACE_SCOPE("obstest.captured");
     spin_for(1e-5);
   }
   // Captured on this thread even though the global mode is off...
   ASSERT_EQ(capture.events().size(), 1u);
-  EXPECT_STREQ(capture.events()[0].name, "obs_test.captured");
+  EXPECT_STREQ(capture.events()[0].name, "obstest.captured");
   EXPECT_GT(capture.events()[0].seconds(), 0.0);
   // ...and nothing reached the global buffers.
   EXPECT_TRUE(obs::snapshot_events().empty());
@@ -308,18 +308,18 @@ TEST_F(ObsTest, TraceCaptureReceivesEventsWithTracingOff) {
 TEST_F(ObsTest, TraceCapturesNest) {
   obs::TraceCapture outer;
   {
-    SFN_TRACE_SCOPE("obs_test.outer_capture");
+    SFN_TRACE_SCOPE("obstest.outer_capture");
     {
       obs::TraceCapture inner;
-      { SFN_TRACE_SCOPE("obs_test.inner_capture"); }
+      { SFN_TRACE_SCOPE("obstest.inner_capture"); }
       ASSERT_EQ(inner.events().size(), 1u);
-      EXPECT_STREQ(inner.events()[0].name, "obs_test.inner_capture");
+      EXPECT_STREQ(inner.events()[0].name, "obstest.inner_capture");
     }
   }
   // The outer capture saw only the scope that closed while it was the
   // innermost capture.
   ASSERT_EQ(outer.events().size(), 1u);
-  EXPECT_STREQ(outer.events()[0].name, "obs_test.outer_capture");
+  EXPECT_STREQ(outer.events()[0].name, "obstest.outer_capture");
 }
 
 TEST_F(ObsTest, FullBuffersDropNewestAndCount) {
@@ -329,7 +329,7 @@ TEST_F(ObsTest, FullBuffersDropNewestAndCount) {
   // at thread-buffer creation).
   std::thread worker([] {
     for (int i = 0; i < 64; ++i) {
-      SFN_TRACE_SCOPE("obs_test.drop_scope");
+      SFN_TRACE_SCOPE("obstest.drop_scope");
     }
   });
   worker.join();
@@ -337,7 +337,7 @@ TEST_F(ObsTest, FullBuffersDropNewestAndCount) {
   const auto stats = obs::aggregate_scope_stats();
   const auto it = std::find_if(
       stats.begin(), stats.end(),
-      [](const obs::ScopeStats& s) { return s.name == "obs_test.drop_scope"; });
+      [](const obs::ScopeStats& s) { return s.name == "obstest.drop_scope"; });
   ASSERT_NE(it, stats.end());
   // Aggregates keep counting even after the event buffer fills.
   EXPECT_EQ(it->count, 64u);
@@ -400,9 +400,9 @@ TEST_F(ObsTest, ModelTimeTableMatchesSessionAttribution) {
 TEST_F(ObsTest, PhaseSummaryTableCoversRecordedScopes) {
   obs::set_trace_mode(obs::TraceMode::kSummary);
   {
-    SFN_TRACE_SCOPE("obs_test.phase_root");
+    SFN_TRACE_SCOPE("obstest.phase_root");
     spin_for(1e-4);
-    SFN_TRACE_SCOPE("obs_test.phase_leaf");
+    SFN_TRACE_SCOPE("obstest.phase_leaf");
     spin_for(1e-4);
   }
   const auto table = obs::phase_summary_table();

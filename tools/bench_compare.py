@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag metric regressions.
+
+Both files must follow the bench::write_json schema:
+
+  {"provenance": {...}, "config": {...},
+   "tables": {name: {"columns": [...], "rows": [[cell, ...], ...]}}}
+
+Rows are matched across files by their key cells: cells that do not
+parse as numbers (algo/isa labels), plus integer-valued columns with a
+direction-neutral name (grid sizes, step counts — sweep axes, not
+results). Every other numeric cell is a metric. For each shared metric
+the relative change is computed against the baseline and classified by
+the column name:
+
+  - lower-is-better (names containing ms, seconds, time, loss, residual,
+    bytes, iterations): an increase beyond the tolerance is a REGRESSION;
+  - higher-is-better (names containing gflops, rate, throughput, speedup,
+    success): a decrease beyond the tolerance is a REGRESSION;
+  - anything else: changes beyond the tolerance are reported as DRIFT and
+    only fail under --strict.
+
+Exit status: 0 = no regressions (drift allowed unless --strict),
+1 = regressions found or inputs malformed.
+
+CI archives each leg's bench JSON as an artifact and, when a committed
+baseline exists under bench/baselines/, runs this script against it.
+`--self-test` exercises the comparator on synthetic data (registered as a
+ctest case, so the tool cannot rot silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+LOWER_IS_BETTER = ("ms", "seconds", "sec", "time", "loss", "residual",
+                   "bytes", "iterations", "qloss")
+HIGHER_IS_BETTER = ("gflops", "flops", "rate", "throughput", "speedup",
+                    "success")
+
+
+def to_number(cell: object) -> float | None:
+    if isinstance(cell, bool):
+        return None
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if isinstance(cell, str):
+        try:
+            return float(cell)
+        except ValueError:
+            return None
+    return None
+
+
+def direction(column: str) -> str:
+    """'lower' | 'higher' | 'neutral' — which way is an improvement."""
+    name = column.lower()
+    # Check higher-is-better first: 'success_rate' should match 'rate',
+    # not fall through, and no lower-is-better token contains a
+    # higher-is-better token.
+    if any(token in name for token in HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in name for token in LOWER_IS_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def load_bench(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    tables = data.get("tables")
+    if not isinstance(tables, dict):
+        raise ValueError(f"{path}: missing 'tables' object")
+    for name, table in tables.items():
+        if (not isinstance(table, dict)
+                or not isinstance(table.get("columns"), list)
+                or not isinstance(table.get("rows"), list)):
+            raise ValueError(f"{path}: table '{name}' malformed")
+    return data
+
+
+def is_integral(cell: object) -> bool:
+    value = to_number(cell)
+    return value is not None and float(value).is_integer()
+
+
+def key_column_indices(columns: list[str], *row_sets: list) -> list[int]:
+    """Which columns identify a row rather than measure it:
+
+    - any column with a non-numeric cell (algo/isa labels);
+    - any integer-valued column whose name carries no better/worse
+      direction (grid sizes, step counts — sweep axes, not results).
+
+    Everything else is a metric."""
+    keys = []
+    for i, col in enumerate(columns):
+        cells = [row[i] for rows in row_sets for row in rows if i < len(row)]
+        if any(to_number(c) is None for c in cells):
+            keys.append(i)
+        elif direction(col) == "neutral" and all(
+                is_integral(c) for c in cells):
+            keys.append(i)
+    return keys
+
+
+def row_key(columns: list[str], key_indices: list[int], row: list) -> tuple:
+    return tuple((columns[i], row[i]) for i in key_indices if i < len(row))
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance: float) -> tuple[list[str], list[str]]:
+    """Returns (regressions, drifts) as human-readable strings."""
+    regressions: list[str] = []
+    drifts: list[str] = []
+    base_tables = baseline["tables"]
+    cand_tables = candidate["tables"]
+
+    for name in sorted(set(base_tables) & set(cand_tables)):
+        base_t, cand_t = base_tables[name], cand_tables[name]
+        columns = base_t["columns"]
+        if cand_t["columns"] != columns:
+            drifts.append(f"{name}: column set changed "
+                          f"{columns} -> {cand_t['columns']}")
+            continue
+        key_indices = key_column_indices(columns, base_t["rows"],
+                                         cand_t["rows"])
+        cand_rows = {row_key(columns, key_indices, row): row
+                     for row in cand_t["rows"]}
+        for row in base_t["rows"]:
+            key = row_key(columns, key_indices, row)
+            other = cand_rows.get(key)
+            label = ",".join(str(v) for _, v in key) or "<row>"
+            if other is None:
+                drifts.append(f"{name}[{label}]: row missing from candidate")
+                continue
+            for i, col in enumerate(columns):
+                if i >= len(row) or i >= len(other):
+                    continue
+                base_v, cand_v = to_number(row[i]), to_number(other[i])
+                if base_v is None or cand_v is None:
+                    continue
+                denom = max(abs(base_v), 1e-12)
+                rel = (cand_v - base_v) / denom
+                if abs(rel) <= tolerance:
+                    continue
+                sense = direction(col)
+                worse = ((sense == "lower" and rel > 0)
+                         or (sense == "higher" and rel < 0))
+                message = (f"{name}[{label}].{col}: {base_v:g} -> {cand_v:g} "
+                           f"({rel:+.1%}, tolerance {tolerance:.0%})")
+                if worse:
+                    regressions.append(message)
+                elif sense == "neutral":
+                    drifts.append(message)
+                # Improvements beyond tolerance are silent: they are what
+                # the repo is trying to produce.
+    for name in sorted(set(base_tables) - set(cand_tables)):
+        drifts.append(f"table '{name}' missing from candidate")
+    return regressions, drifts
+
+
+def self_test() -> int:
+    columns = ["algo", "grid", "ms_per_conv", "gflops", "weird"]
+    base = {"tables": {"t": {"columns": columns, "rows": [
+        ["naive", "64", "10.0", "4.0", "1.5"],
+        ["packed", "128", "2.0", "20.0", "1.5"],
+    ]}}}
+    # 'grid' is integer-valued and direction-neutral → a key column: rows
+    # sweeping it must not alias.
+    assert key_column_indices(columns, base["tables"]["t"]["rows"]) == [0, 1]
+
+    def clone_with(rows):
+        return {"tables": {"t": {"columns": columns, "rows": rows}}}
+
+    # Identical → clean.
+    regs, drifts = compare(base, clone_with(base["tables"]["t"]["rows"]), 0.1)
+    assert not regs and not drifts, (regs, drifts)
+
+    # Slower ms and lower gflops → two regressions.
+    regs, _ = compare(base, clone_with([
+        ["naive", "64", "15.0", "4.0", "1.5"],
+        ["packed", "128", "2.0", "10.0", "1.5"],
+    ]), 0.1)
+    assert len(regs) == 2, regs
+
+    # Faster ms → improvement, silent.
+    regs, drifts = compare(base, clone_with([
+        ["naive", "64", "5.0", "4.0", "1.5"],
+        ["packed", "128", "2.0", "20.0", "1.5"],
+    ]), 0.1)
+    assert not regs and not drifts, (regs, drifts)
+
+    # Neutral column change → drift, not regression.
+    regs, drifts = compare(base, clone_with([
+        ["naive", "64", "10.0", "4.0", "3.0"],
+        ["packed", "128", "2.0", "20.0", "1.5"],
+    ]), 0.1)
+    assert not regs and len(drifts) == 1, (regs, drifts)
+
+    # Missing row → drift.
+    _, drifts = compare(base, clone_with([
+        ["naive", "64", "10.0", "4.0", "1.5"],
+    ]), 0.1)
+    assert any("row missing" in d for d in drifts), drifts
+
+    # Within tolerance → silent.
+    regs, drifts = compare(base, clone_with([
+        ["naive", "64", "10.5", "4.0", "1.5"],
+        ["packed", "128", "2.0", "19.0", "1.5"],
+    ]), 0.1)
+    assert not regs and not drifts, (regs, drifts)
+
+    # End-to-end through files and the schema validator.
+    with tempfile.TemporaryDirectory() as tmp:
+        a = pathlib.Path(tmp) / "a.json"
+        b = pathlib.Path(tmp) / "b.json"
+        a.write_text(json.dumps(base), encoding="utf-8")
+        b.write_text(json.dumps(base), encoding="utf-8")
+        assert run_compare(a, b, 0.1, strict=True) == 0
+
+    print("bench_compare: self-test OK")
+    return 0
+
+
+def run_compare(baseline_path: pathlib.Path, candidate_path: pathlib.Path,
+                tolerance: float, strict: bool) -> int:
+    try:
+        baseline = load_bench(baseline_path)
+        candidate = load_bench(candidate_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}")
+        return 1
+    regressions, drifts = compare(baseline, candidate, tolerance)
+    for message in drifts:
+        print(f"DRIFT      {message}")
+    for message in regressions:
+        print(f"REGRESSION {message}")
+    if regressions or (strict and drifts):
+        print(f"bench_compare: {len(regressions)} regression(s), "
+              f"{len(drifts)} drift(s) vs {baseline_path}")
+        return 1
+    print(f"bench_compare: OK vs {baseline_path} "
+          f"({len(drifts)} drift(s) within policy)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path, nargs="?",
+                        help="baseline BENCH_*.json")
+    parser.add_argument("candidate", type=pathlib.Path, nargs="?",
+                        help="candidate BENCH_*.json to judge")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance before a change counts "
+                             "(default 0.25 — shared-runner bench noise)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on drift too, not just regressions")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded comparator checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate are required "
+                     "(or pass --self-test)")
+    return run_compare(args.baseline, args.candidate, args.tolerance,
+                       args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a chrome-tracing JSON file produced by obs::write_chrome_trace.
+"""Validate observability artifacts: chrome traces and event logs.
 
-Checks the structural schema the exporter promises (CI runs this against a
-small adaptive session traced with SFN_TRACE=full):
+Default mode checks a chrome-tracing JSON file produced by
+obs::write_chrome_trace against the structural schema the exporter
+promises (CI runs this against a small adaptive session traced with
+SFN_TRACE=full):
 
   - the file parses as a JSON array of event objects;
   - every event is a complete event ("ph": "X") with the required fields
@@ -11,10 +13,26 @@ small adaptive session traced with SFN_TRACE=full):
     non-negative integer;
   - events on one thread nest properly: an event at depth d+1 lies within
     the time span of an enclosing event at depth d (tolerance one
-    microsecond, the exporter's output resolution);
+    microsecond, the exporter's output resolution); flight-recorder dumps
+    are bounded windows cut mid-run, so scopes still open at dump time
+    are absent and their closed children look orphaned — validate those
+    with --allow-partial, which skips only the nesting check;
   - every scope named by --expect occurs at least once.
 
-Exit status: 0 when the trace is valid, 1 otherwise.
+With --eventlog the input is instead a JSON-lines event log written by
+obs::eventlog (SFN_EVENTLOG):
+
+  - every line parses as a JSON object with a string "type" matching
+    [a-z_][a-z0-9_]* and a non-negative numeric "ts";
+  - the first line is a "meta" record carrying build provenance
+    (git_sha, build_type, sanitize);
+  - every type named by --expect-type occurs at least once.
+
+Cross-thread construction/append reordering means ts values are NOT
+required to be globally monotone; the clock they share with chrome
+traces (the process trace epoch) is what makes correlation possible.
+
+Exit status: 0 when the artifact is valid, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -22,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 
 ERRORS: list[str] = []
@@ -88,17 +107,96 @@ def check_nesting(events: list[dict], tolerance_us: float = 1.0) -> None:
                     "has no enclosing parent scope")
 
 
+EVENT_TYPE_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+META_FIELDS = ("git_sha", "build_type", "sanitize")
+
+
+def check_eventlog(path: pathlib.Path, expect_types: list[str],
+                   min_events: int) -> int:
+    try:
+        lines = [ln for ln in
+                 path.read_text(encoding="utf-8").splitlines() if ln]
+    except OSError as exc:
+        print(f"check_trace: cannot load {path}: {exc}")
+        return 1
+
+    records = []
+    for i, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(f"line {i}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            err(f"line {i}: not a JSON object")
+            continue
+        rtype = record.get("type")
+        if not isinstance(rtype, str) or not EVENT_TYPE_RE.match(rtype):
+            err(f"line {i}: missing or malformed 'type' ({rtype!r})")
+            continue
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"line {i} ({rtype}): missing or negative 'ts'")
+            continue
+        records.append(record)
+
+    if not records:
+        err("empty event log")
+    else:
+        head = records[0]
+        if head.get("type") != "meta":
+            err(f"first record is '{head.get('type')}', expected 'meta'")
+        else:
+            for field in META_FIELDS:
+                if not isinstance(head.get(field), str):
+                    err(f"meta record: missing provenance field '{field}'")
+
+    if len(records) < min_events:
+        err(f"only {len(records)} valid record(s), expected at least "
+            f"{min_events}")
+    types = {record["type"] for record in records}
+    for rtype in expect_types:
+        if rtype not in types:
+            err(f"expected event type '{rtype}' never occurs "
+                f"(saw: {', '.join(sorted(types)) or 'none'})")
+
+    if ERRORS:
+        print(f"check_trace: {path}: {len(ERRORS)} problem(s):")
+        for e in ERRORS:
+            print(f"  {e}")
+        return 1
+    print(f"check_trace: {path}: {len(records)} event-log records, "
+          f"{len(types)} types — OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", type=pathlib.Path,
-                        help="chrome-trace JSON file (SFN_TRACE_FILE)")
+                        help="chrome-trace JSON file (SFN_TRACE_FILE) or, "
+                             "with --eventlog, a JSONL event log "
+                             "(SFN_EVENTLOG)")
     parser.add_argument("--expect", action="append", default=[],
                         metavar="SCOPE",
                         help="require at least one event with this name "
                              "(repeatable)")
     parser.add_argument("--min-events", type=int, default=1,
                         help="minimum number of events (default 1)")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="skip the scope-nesting check (flight-recorder "
+                             "windows cut across scopes still open at dump "
+                             "time)")
+    parser.add_argument("--eventlog", action="store_true",
+                        help="validate a JSONL event log instead of a "
+                             "chrome trace")
+    parser.add_argument("--expect-type", action="append", default=[],
+                        metavar="TYPE",
+                        help="with --eventlog: require at least one record "
+                             "of this type (repeatable)")
     args = parser.parse_args()
+
+    if args.eventlog:
+        return check_eventlog(args.trace, args.expect_type, args.min_events)
 
     try:
         raw = json.loads(args.trace.read_text(encoding="utf-8"))
@@ -114,7 +212,8 @@ def main() -> int:
     if len(events) < args.min_events:
         err(f"only {len(events)} valid event(s), expected at least "
             f"{args.min_events}")
-    check_nesting(events)
+    if not args.allow_partial:
+        check_nesting(events)
 
     names = {ev["name"] for ev in events}
     for scope in args.expect:

@@ -60,13 +60,23 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         rule runs as an AST pass (qualified-name exact,
                         immune to comments/strings); otherwise it falls
                         back to the same regex machinery as R1-R8.
+  R10 metric-name       Instruments are registered through the central
+                        obs::counter/gauge/histogram[_labeled] helpers
+                        with a *literal* dotted name matching
+                        ^[a-z0-9]+(\.[a-z0-9_]+)+$ (e.g. serve.queue_wait,
+                        runtime.fallback_latency). Computed names or
+                        free-form literals at observe sites outside
+                        src/obs/ would fracture the namespace the
+                        exporter, /statz and the dashboards key on
+                        (DESIGN.md §15).
 
 Escape hatches are deliberate annotations, not config: append
 `// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
 `// sfn-lint: allow-print` (R5), `// sfn-lint: allow-pcg` (R6),
 `// sfn-lint: allow-runtime-state` (R7), `// sfn-lint:
-allow-intrinsics` (R8) or `// sfn-lint: allow-raw-mutex` (R9) to the
-offending line, with a reason, and the rule skips it.
+allow-intrinsics` (R8), `// sfn-lint: allow-raw-mutex` (R9) or
+`// sfn-lint: allow-metric-name` (R10) to the offending line, with a
+reason, and the rule skips it.
 
 If clang-tidy is installed and the build dir has compile_commands.json,
 the checks in .clang-tidy run too; otherwise that pass is skipped so the
@@ -528,6 +538,50 @@ def rule_raw_mutex(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
 
 
 # --------------------------------------------------------------------------
+# R10: instrument names are literal, dotted, and registered through the
+# central helpers. src/obs/ itself is exempt (the helpers and renderers
+# live there and legitimately pass computed names around).
+
+METRIC_CALL_RE = re.compile(
+    r"\bobs::(?:counter|gauge|histogram)(?:_labeled)?\s*\(\s*([^,)]*)")
+METRIC_NAME_RE = re.compile(r"^[a-z0-9]+(\.[a-z0-9_]+)+$")
+METRIC_LITERAL_RE = re.compile(r'^"([^"]*)"\s*$')
+
+
+def rule_metric_name(root: pathlib.Path) -> None:
+    obs_dir = root / "src" / "obs"
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.[ch]pp")):
+            if path == obs_dir or obs_dir in path.parents:
+                continue
+            for line_no, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if "sfn-lint: allow-metric-name" in raw:
+                    continue
+                for match in METRIC_CALL_RE.finditer(
+                        strip_line_comment(raw)):
+                    arg = match.group(1).strip()
+                    literal = METRIC_LITERAL_RE.match(arg)
+                    if literal is None:
+                        report(
+                            "metric-name", path.relative_to(root), line_no,
+                            f"instrument name is not a string literal "
+                            f"({arg!r:.60}); registry names are literal so "
+                            "the exporter/dashboard namespace is greppable "
+                            "(or annotate `// sfn-lint: allow-metric-name` "
+                            "with a reason)")
+                    elif not METRIC_NAME_RE.match(literal.group(1)):
+                        report(
+                            "metric-name", path.relative_to(root), line_no,
+                            f"instrument name '{literal.group(1)}' does not "
+                            "match ^[a-z0-9]+(\\.[a-z0-9_]+)+$ "
+                            "(dotted lowercase, e.g. serve.queue_wait)")
+
+
+# --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
 def run_clang_tidy(root: pathlib.Path, build_dir: pathlib.Path | None) -> str:
@@ -579,6 +633,7 @@ def main() -> int:
     rule_pcg_in_runtime(root)
     rule_serve_isolation(root)
     rule_raw_intrinsics(root)
+    rule_metric_name(root)
     mutex_mode = rule_raw_mutex(root, args.build_dir)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"

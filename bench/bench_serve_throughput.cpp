@@ -65,6 +65,50 @@ RunStats run_sessions(const std::vector<sfn::workload::InputProblem>& problems,
   return stats;
 }
 
+/// Cooperative-scheduler scale point: N concurrent sessions multiplexed
+/// over a fixed 8-thread worker pool (DESIGN.md §16). The figure of merit
+/// is that throughput holds roughly flat while the session count grows
+/// 4x past the thread count — the scheduler's claim that concurrency is
+/// bounded by stepper memory, not OS threads.
+RunStats run_scale_point(const std::vector<sfn::workload::InputProblem>& problems,
+                         const sfn::core::TrainedModel& model,
+                         std::size_t session_threads) {
+  using namespace sfn;
+  serve::ServerConfig config = serve::ServerConfig::from_env();
+  config.sched = serve::ServerConfig::Sched::kCoop;
+  config.session_threads = session_threads;
+  config.max_active_sessions = problems.size();
+  config.queue_capacity = problems.size();
+  serve::SessionServer server(config);
+
+  util::Timer timer;
+  std::vector<serve::SessionServer::JobId> ids;
+  ids.reserve(problems.size());
+  for (const auto& problem : problems) {
+    ids.push_back(server.submit_fixed(problem, model));
+  }
+  for (const auto id : ids) {
+    server.wait(id);
+  }
+  RunStats stats;
+  stats.seconds = timer.seconds();
+  long long total_steps = 0;
+  for (const auto& problem : problems) {
+    total_steps += problem.steps;
+  }
+  stats.steps_per_second =
+      stats.seconds > 0.0 ? static_cast<double>(total_steps) / stats.seconds
+                          : 0.0;
+  stats.batches = server.coalescer().batches_dispatched();
+  const auto batched = server.coalescer().requests_batched();
+  stats.mean_batch =
+      stats.batches > 0
+          ? static_cast<double>(batched) / static_cast<double>(stats.batches)
+          : 0.0;
+  server.shutdown();
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,9 +143,39 @@ int main(int argc, char** argv) {
   }
   table.print("\nServing throughput:");
 
+  // Scale sweep: the cooperative scheduler holds a fixed 8-thread pool
+  // while the session count grows far past it (the refactor's headline
+  // property). A smaller grid keeps 256 sessions tractable in CI.
+  const int scale_grid = std::min(64, ctx.cfg.max_grid);
+  const std::size_t scale_threads = 8;
+  util::Table scale({"Sessions", "Threads", "Seconds", "Steps/s",
+                     "Sessions/s", "Batches", "Mean batch"});
+  for (const int sessions : {64, 128, 256}) {
+    const auto problems = bench::online_problems(
+        ctx, sessions, scale_grid,
+        /*tag=*/700 + static_cast<std::uint64_t>(sessions));
+    const auto stats = run_scale_point(problems, ctx.tompson, scale_threads);
+    scale.add_row({std::to_string(sessions), std::to_string(scale_threads),
+                   util::fmt(stats.seconds, 3),
+                   util::fmt(stats.steps_per_second, 1),
+                   util::fmt(stats.seconds > 0.0
+                                 ? static_cast<double>(sessions) / stats.seconds
+                                 : 0.0,
+                             1),
+                   std::to_string(stats.batches),
+                   util::fmt(stats.mean_batch, 2)});
+    std::printf("  scale %d sessions / %zu threads: %.3fs\n", sessions,
+                scale_threads, stats.seconds);
+  }
+  scale.print("\nCooperative scheduler scale (fixed 8-thread pool):");
+
   util::Table env({"Key", "Value"});
   env.add_row({"hardware_threads", std::to_string(hardware)});
   env.add_row({"grid", std::to_string(grid)});
+  env.add_row({"scale_grid", std::to_string(scale_grid)});
+  env.add_row({"scale_session_threads", std::to_string(scale_threads)});
+  env.add_row({"sched_slice",
+               std::to_string(serve::ServerConfig::from_env().slice_steps)});
   env.add_row({"steps_per_session", std::to_string(ctx.cfg.time_steps)});
   env.add_row({"batch_max",
                std::to_string(serve::CoalescerConfig::from_env().batch_max)});
@@ -109,6 +183,8 @@ int main(int argc, char** argv) {
       {"batch_wait_us",
        std::to_string(serve::CoalescerConfig::from_env().batch_wait_us)});
   bench::write_json("BENCH_serve.json", ctx.cfg,
-                    {{"serve_throughput", &table}, {"environment", &env}});
+                    {{"serve_throughput", &table},
+                     {"serve_scale", &scale},
+                     {"environment", &env}});
   return 0;
 }

@@ -1,10 +1,36 @@
 #include "core/persistence.hpp"
 
+#include "core/stepper.hpp"
 #include "nn/serialize.hpp"
 
 #include <fstream>
 
 namespace sfn::core {
+
+void save_session_checkpoint(const SessionStepper& stepper,
+                             const std::filesystem::path& file) {
+  std::ofstream out(file, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_session_checkpoint: cannot open " +
+                             file.string());
+  }
+  stepper.save_checkpoint(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("save_session_checkpoint: write failed for " +
+                             file.string());
+  }
+}
+
+void load_session_checkpoint(SessionStepper* stepper,
+                             const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_session_checkpoint: cannot open " +
+                             file.string());
+  }
+  stepper->restore_checkpoint(in);
+}
 
 static constexpr std::int32_t kArtifactMagic = 0x53464152;  // "SFAR"
 // v2: ArchSpec gained an execution-precision field (quantized candidates,

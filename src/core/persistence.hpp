@@ -22,4 +22,21 @@ OfflineArtifacts load_artifacts(const std::filesystem::path& dir);
 void save_spec(const modelgen::ArchSpec& spec, std::ostream& out);
 modelgen::ArchSpec load_spec(std::istream& in);
 
+class SessionStepper;
+
+/// Suspend a mid-flight session to a file: the stepper's complete
+/// resumable state (simulation grids, controller state, timing
+/// accumulators) at its current step boundary. Pairs with
+/// SessionStepper::save_checkpoint the way save_artifacts pairs with the
+/// offline phase — the artifacts directory holds the immutable inputs,
+/// a checkpoint file holds one session's mutable progress.
+void save_session_checkpoint(const SessionStepper& stepper,
+                             const std::filesystem::path& file);
+
+/// Restore a checkpoint written by save_session_checkpoint into a stepper
+/// constructed with the same problem/artifacts/config. Throws on missing
+/// file, format mismatch, or a problem-identity mismatch.
+void load_session_checkpoint(SessionStepper* stepper,
+                             const std::filesystem::path& file);
+
 }  // namespace sfn::core

@@ -1,72 +1,23 @@
 #include "core/session.hpp"
 
-#include "core/neural_projection.hpp"
-#include "fluid/pcg.hpp"
+#include "core/stepper.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 
 #include <algorithm>
-#include <stdexcept>
-#include <string_view>
 
 namespace sfn::core {
 
 namespace {
 
-// Scope names used by the sessions below. The session installs an
-// obs::TraceCapture and derives all SessionResult timing from the captured
-// telemetry stream (instead of the bespoke util::Timer bookkeeping it used
-// to carry): one source of truth for the chrome-trace export, the summary
-// tables and the returned result. Direct TraceScope objects (not the
-// SFN_TRACE_SCOPE macros) keep this working under -DSFN_TRACE_MACROS=OFF,
-// and TraceCapture records on the calling thread even with SFN_TRACE=off.
-constexpr const char* kAdaptiveScope = "session.adaptive";
-constexpr const char* kFixedScope = "session.fixed";
-constexpr const char* kStepScope = "session.step";
-constexpr const char* kRestartScope = "session.restart_pcg";
-/// Opened by runtime::FallbackPolicy around each guard-triggered PCG
-/// re-solve; nests inside the owning kStepScope, so fallback time both
-/// stays inside the per-model attribution and is separately summable.
-constexpr const char* kFallbackScope = "runtime.fallback";
-
-/// Fill `result` timing fields from the captured stream: total seconds from
-/// the root scope, per-model attribution and the model-per-step trace from
-/// the "session.step" events (whose arg is the library model id), fallback
-/// overhead from the guard's re-solve scopes. All derived fields are reset
-/// first, so a reused result (or a run whose root scope never closed)
-/// cannot leak stale timing. `steps` is the problem length: a PCG restart
-/// replays every step, so the step trace is trimmed to the trailing
-/// `steps` events — the ones that produced the final state.
-void derive_timing(const std::vector<obs::TraceEvent>& events,
-                   std::string_view root_name, int steps,
-                   SessionResult* result) {
-  result->seconds = 0.0;
-  result->seconds_per_model.clear();
-  result->model_per_step.clear();
-  result->fallback_seconds = 0.0;
-  // Per-step latency feeds the SLO histogram straight from the captured
-  // stream — the timing source of truth — so the step loop itself carries
-  // no extra clock reads.
-  static obs::Histogram& step_latency = obs::histogram("runtime.step_latency");
-  for (const auto& ev : events) {
-    const std::string_view name = ev.name;
-    if (name == kStepScope && ev.has_arg) {
-      const auto model_id = static_cast<std::size_t>(ev.arg);
-      result->seconds_per_model[model_id] += ev.seconds();
-      result->model_per_step.push_back(model_id);
-      step_latency.observe(ev.seconds());
-    } else if (name == kFallbackScope) {
-      result->fallback_seconds += ev.seconds();
-    } else if (name == root_name) {
-      result->seconds = ev.seconds();
-    }
+/// Drive a stepper to completion on the calling thread. This is the solo
+/// (non-scheduled) execution mode: the same SessionStepper state machine
+/// the serve-tier cooperative scheduler multiplexes, just run back to
+/// back, so solo and scheduled runs are bit-identical by construction.
+SessionResult run_to_completion(SessionStepper* stepper) {
+  while (stepper->step() == SessionStepper::Status::kRunning) {
   }
-  const auto count = static_cast<std::size_t>(std::max(steps, 0));
-  if (result->model_per_step.size() > count) {
-    result->model_per_step.erase(
-        result->model_per_step.begin(),
-        result->model_per_step.end() - static_cast<std::ptrdiff_t>(count));
-  }
+  stepper->rethrow_error();
+  return stepper->take_result();
 }
 
 }  // namespace
@@ -116,106 +67,8 @@ std::vector<runtime::RuntimeCandidate> make_runtime_candidates(
 SessionResult run_adaptive(const workload::InputProblem& problem,
                            const OfflineArtifacts& artifacts,
                            const SessionConfig& config) {
-  if (artifacts.selected_ids.empty()) {
-    throw std::invalid_argument("run_adaptive: no selected models");
-  }
-  SessionResult result;
-
-  const auto candidates = make_runtime_candidates(artifacts);
-  std::vector<std::unique_ptr<fluid::PoissonSolver>> solvers;
-  solvers.reserve(candidates.size());
-  for (const auto& c : candidates) {
-    const auto& model = artifacts.library[c.model_id];
-    // Shared-weights mode: the artifacts own the networks (and outlive
-    // the run), so N concurrent sessions reference one weight set instead
-    // of cloning it N times. Mutable per-solve state (workspace, scratch
-    // tensors) stays inside each NeuralProjection instance.
-    std::unique_ptr<fluid::PoissonSolver> solver =
-        std::make_unique<NeuralProjection>(&model.net, config.inference_sink,
-                                           model.spec.name);
-    if (config.solver_decorator) {
-      solver = config.solver_decorator(c.model_id, std::move(solver));
-    }
-    solvers.push_back(std::move(solver));
-  }
-
-  const double quality_requirement = config.quality_requirement.value_or(
-      artifacts.requirement.quality_loss);
-  runtime::ControllerParams controller_params = config.controller;
-  controller_params.quarantine_trips = config.guard.quarantine_trips;
-  controller_params.quarantine_window = config.guard.quarantine_window;
-  runtime::ModelSwitchController controller(controller_params, candidates,
-                                            &artifacts.quality_db,
-                                            quality_requirement,
-                                            problem.steps);
-
-  // The per-step health guard: rejected solves are re-solved in place by
-  // this policy's warm-started PCG, and repeat offenders are reported to
-  // the controller for quarantine. Owns the only exact solver the
-  // adaptive loop is allowed to touch.
-  runtime::FallbackPolicy fallback(config.guard);
-
-  obs::TraceCapture capture;
-  {
-    obs::TraceScope session_scope(kAdaptiveScope);
-    fluid::SmokeSim sim = workload::make_sim(problem);
-    for (int step = 0; step < problem.steps; ++step) {
-      if (controller.exhausted()) {
-        // Every candidate quarantined: degrade the remaining steps to the
-        // exact solver. Prior steps are all valid (each guard trip was
-        // re-solved exactly), so nothing is replayed.
-        obs::TraceScope step_scope(kStepScope, SessionResult::kPcgModelId);
-        sim.step(fallback.exact_solver());
-        continue;
-      }
-      const std::size_t pos = controller.current_candidate();
-      fluid::StepTelemetry telemetry;
-      {
-        obs::TraceScope step_scope(kStepScope, candidates[pos].model_id);
-        telemetry = sim.step(solvers[pos].get(),
-                             config.guard.enabled ? &fallback : nullptr);
-      }
-      if (telemetry.guard.fallback) {
-        ++result.fallback_steps;
-        // This step's pressure is now exact; report the trip so the
-        // controller can quarantine a persistently failing candidate.
-        controller.on_guard_trip(step, telemetry.cum_div_norm);
-      }
-      const auto decision = controller.on_step(step, telemetry.cum_div_norm);
-      if (decision == runtime::Decision::kRestartPcg &&
-          controller.restart_requested()) {
-        break;
-      }
-    }
-    result.events = controller.events();
-    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
-      if (controller.is_quarantined(pos)) {
-        result.quarantined_models.push_back(candidates[pos].model_id);
-      }
-    }
-
-    if (controller.restart_requested()) {
-      // Algorithm 2 line 16: no model can meet q — redo the whole problem
-      // with the exact solver. The aborted neural time stays in the bill,
-      // which is exactly the risk Eq. 8's selection prices in. Each redo
-      // step runs under its own kStepScope so derive_timing attributes
-      // the exact-solver time like any other model's.
-      result.restarted_with_pcg = true;
-      obs::TraceScope restart_scope(kRestartScope);
-      fluid::PcgSolver pcg;
-      fluid::SmokeSim redo = workload::make_sim(problem);
-      for (int step = 0; step < problem.steps; ++step) {
-        obs::TraceScope step_scope(kStepScope, SessionResult::kPcgModelId);
-        redo.step(&pcg);
-      }
-      result.final_density = redo.density();
-    } else {
-      result.final_density = sim.density();
-    }
-  }
-
-  derive_timing(capture.events(), kAdaptiveScope, problem.steps, &result);
-  return result;
+  SessionStepper stepper(problem, artifacts, config);
+  return run_to_completion(&stepper);
 }
 
 SessionResult run_fixed(const workload::InputProblem& problem,
@@ -226,28 +79,8 @@ SessionResult run_fixed(const workload::InputProblem& problem,
 SessionResult run_fixed(const workload::InputProblem& problem,
                         const TrainedModel& model,
                         const SessionConfig& config) {
-  SessionResult result;
-  const std::size_t model_id = model.records.model_id;
-  std::unique_ptr<fluid::PoissonSolver> solver =
-      std::make_unique<NeuralProjection>(&model.net, config.inference_sink,
-                                         model.spec.name);
-  if (config.solver_decorator) {
-    solver = config.solver_decorator(model_id, std::move(solver));
-  }
-
-  obs::TraceCapture capture;
-  {
-    obs::TraceScope session_scope(kFixedScope);
-    fluid::SmokeSim sim = workload::make_sim(problem);
-    for (int step = 0; step < problem.steps; ++step) {
-      obs::TraceScope step_scope(kStepScope, model_id);
-      sim.step(solver.get());
-    }
-    result.final_density = sim.density();
-  }
-
-  derive_timing(capture.events(), kFixedScope, problem.steps, &result);
-  return result;
+  SessionStepper stepper(problem, model, config);
+  return run_to_completion(&stepper);
 }
 
 }  // namespace sfn::core

@@ -1,0 +1,133 @@
+#pragma once
+
+#include "core/session.hpp"
+#include "obs/trace.hpp"
+
+#include <exception>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace sfn::core {
+
+/// Resumable step-state machine behind run_adaptive/run_fixed.
+///
+/// One stepper owns everything a session needs between steps — the
+/// simulation state, the per-candidate solvers, the switch controller,
+/// the health guard/fallback policy — and exposes the run as a sequence
+/// of step() calls that each advance exactly one simulation step. That
+/// turns a session into something a scheduler can multiplex: a worker
+/// thread runs a few steps, parks the stepper, and picks up a different
+/// session, so 256 concurrent sessions need a handful of OS threads
+/// instead of 256 stacks (serve::SessionServer's cooperative mode).
+///
+/// Timing is derived from the observability stream exactly as the
+/// monolithic loops did, but sliced: every step() call installs an
+/// obs::TraceCapture on the *calling* thread (TraceCapture is
+/// thread-local, and a parked session may resume on a different worker),
+/// opens one root scope ("session.adaptive"/"session.fixed"), and folds
+/// the captured events into the result accumulators before returning.
+/// Summing per-slice roots also means scheduler wait time between slices
+/// is *not* billed to the session — only time actually spent stepping.
+///
+/// Determinism contract: the sequence of simulation states, controller
+/// decisions, SwitchEvents (minus wall-clock seconds_offset) and the
+/// final density are a pure function of (problem, artifacts, config) —
+/// independent of which thread runs each step() or how the calls are
+/// interleaved with other sessions. The solo run_adaptive/run_fixed
+/// wrappers and both SessionServer scheduling modes drive this same
+/// class, so bit-identical results across modes hold by construction.
+class SessionStepper {
+ public:
+  enum class Status {
+    kRunning,  ///< More step() calls needed.
+    kDone,     ///< Finished; take_result() is valid.
+    kError,    ///< A step threw; error()/rethrow_error() hold the cause.
+  };
+
+  /// Adaptive session (Algorithm 2) over the offline artifacts. Throws
+  /// std::invalid_argument when the artifacts select no models (message
+  /// kept from the original run_adaptive for compatibility).
+  SessionStepper(const workload::InputProblem& problem,
+                 const OfflineArtifacts& artifacts,
+                 const SessionConfig& config = {});
+
+  /// Fixed-model session (the Tompson-style baseline; no controller).
+  /// Only the solver_decorator/inference_sink seams of `config` apply.
+  SessionStepper(const workload::InputProblem& problem,
+                 const TrainedModel& model, const SessionConfig& config = {});
+
+  ~SessionStepper();
+  SessionStepper(const SessionStepper&) = delete;
+  SessionStepper& operator=(const SessionStepper&) = delete;
+
+  /// Advance one simulation step (or one replay step of the whole-run PCG
+  /// restart). Never throws: a failing step is captured and surfaced as
+  /// kError. May be called from any thread, one call at a time.
+  Status step();
+
+  [[nodiscard]] Status status() const;
+  [[nodiscard]] bool finished() const { return status() != Status::kRunning; }
+
+  /// Steps of *forward progress* consumed so far (main-phase steps plus
+  /// restart-replay steps) — scheduler bookkeeping, not a result field.
+  [[nodiscard]] int steps_completed() const;
+
+  /// The captured exception when status() == kError (null otherwise).
+  [[nodiscard]] std::exception_ptr error() const { return error_; }
+  /// Rethrow the captured exception; no-op when there is none.
+  void rethrow_error() const;
+
+  /// Move out the finished result. Valid only when status() == kDone
+  /// (throws std::logic_error otherwise); call at most once.
+  SessionResult take_result();
+
+  /// Serialize the complete resumable state at the current step boundary
+  /// (simulation grids, controller state, timing accumulators). Valid
+  /// while running; throws std::logic_error once finished. The stream
+  /// carries a magic/version plus the problem's identity, so a mismatched
+  /// restore fails loudly instead of corrupting a run.
+  void save_checkpoint(std::ostream& out) const;
+
+  /// Restore a checkpoint produced by save_checkpoint() on a stepper
+  /// constructed with the same problem/artifacts/config. Throws
+  /// std::runtime_error on a malformed stream and std::invalid_argument
+  /// on a problem/kind mismatch. After restore, step() continues exactly
+  /// where the suspended session left off (bit-identical density,
+  /// decisions and events; wall-clock fields restart from the resume).
+  void restore_checkpoint(std::istream& in);
+
+ private:
+  enum class Phase { kMain, kRestart, kDone, kError };
+
+  void init_sim();
+  void step_main();
+  void step_restart();
+  void begin_restart();
+  void collect_controller_outcome();
+  void accumulate_slice(const std::vector<obs::TraceEvent>& events);
+
+  workload::InputProblem problem_;
+  bool adaptive_ = false;
+  bool guard_enabled_ = false;
+  const char* root_scope_ = nullptr;
+  std::size_t fixed_model_id_ = 0;
+
+  std::vector<runtime::RuntimeCandidate> candidates_;
+  std::vector<std::unique_ptr<fluid::PoissonSolver>> solvers_;
+  std::unique_ptr<runtime::ModelSwitchController> controller_;
+  std::unique_ptr<runtime::FallbackPolicy> fallback_;
+
+  std::unique_ptr<fluid::SmokeSim> sim_;
+  std::unique_ptr<fluid::SmokeSim> redo_sim_;  ///< Restart-phase replay.
+  std::unique_ptr<fluid::PcgSolver> pcg_;      ///< Restart-phase solver.
+
+  Phase phase_ = Phase::kMain;
+  int main_step_ = 0;
+  int redo_step_ = 0;
+  SessionResult result_;
+  bool result_taken_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace sfn::core

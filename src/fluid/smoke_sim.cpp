@@ -6,6 +6,7 @@
 #include "util/timer.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace sfn::fluid {
 
@@ -49,6 +50,23 @@ void SmokeSim::apply_sources() {
       }
     }
   }
+}
+
+void SmokeSim::restore_state(const GridF& density, const GridF& pressure,
+                             const MacGrid2& vel, double cum_div_norm,
+                             int steps) {
+  if (density.nx() != flags_.nx() || density.ny() != flags_.ny() ||
+      pressure.nx() != flags_.nx() || pressure.ny() != flags_.ny() ||
+      vel.nx() != flags_.nx() || vel.ny() != flags_.ny() ||
+      !std::isfinite(cum_div_norm) || steps < 0) {
+    throw std::invalid_argument(
+        "SmokeSim::restore_state: checkpoint does not match this grid");
+  }
+  density_ = density;
+  pressure_ = pressure;
+  vel_ = vel;
+  cum_div_norm_ = cum_div_norm;
+  steps_ = steps;
 }
 
 GridF SmokeSim::vorticity() const {

@@ -86,6 +86,15 @@ class SmokeSim {
   /// called internally by step()).
   void apply_sources();
 
+  /// Overwrite the cross-step state from a checkpoint: density, pressure
+  /// (warm-start seed), velocity, the CumDivNorm accumulator and the step
+  /// counter. Everything else (divergence/rhs/scratch grids) is fully
+  /// rewritten by the next step(), so this is the complete suspend/resume
+  /// surface (core::SessionStepper persistence). Throws
+  /// std::invalid_argument on a grid-shape mismatch.
+  void restore_state(const GridF& density, const GridF& pressure,
+                     const MacGrid2& vel, double cum_div_norm, int steps);
+
   /// Cell-centred vorticity (dv/dx - du/dy, grid units) of the current
   /// velocity field; exposed for tests and diagnostics.
   [[nodiscard]] GridF vorticity() const;

@@ -28,6 +28,19 @@ inline std::int32_t read_i32(std::istream& in) {
   return v;
 }
 
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw std::runtime_error("nn::io: truncated stream reading u64");
+  }
+  return v;
+}
+
 inline void write_f64(std::ostream& out, double v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }

@@ -200,6 +200,42 @@ std::optional<Decision> ModelSwitchController::on_step(int step,
   return decision;
 }
 
+ControllerCheckpoint ModelSwitchController::checkpoint() const {
+  ControllerCheckpoint state;
+  state.current = current_;
+  state.restart = restart_;
+  state.exhausted = exhausted_;
+  state.cooldown_checks_left = cooldown_checks_left_;
+  state.last_direction = last_direction_;
+  state.last_predicted_quality = last_predicted_quality_;
+  state.quarantined = quarantined_;
+  state.trip_steps = trip_steps_;
+  state.window_steps = extrapolator_.window_steps();
+  state.window_values = extrapolator_.window_values();
+  state.events = events_;
+  return state;
+}
+
+void ModelSwitchController::restore(const ControllerCheckpoint& state) {
+  if (state.quarantined.size() != candidates_.size() ||
+      state.trip_steps.size() != candidates_.size() ||
+      state.current >= candidates_.size()) {
+    throw std::invalid_argument(
+        "ModelSwitchController::restore: checkpoint does not match this "
+        "controller's candidate set");
+  }
+  current_ = state.current;
+  restart_ = state.restart;
+  exhausted_ = state.exhausted;
+  cooldown_checks_left_ = state.cooldown_checks_left;
+  last_direction_ = state.last_direction;
+  last_predicted_quality_ = state.last_predicted_quality;
+  quarantined_ = state.quarantined;
+  trip_steps_ = state.trip_steps;
+  extrapolator_.set_window(state.window_steps, state.window_values);
+  events_ = state.events;
+}
+
 GuardVerdict ModelSwitchController::on_guard_trip(int step,
                                                   double cum_div_norm) {
   if (restart_ || exhausted_) {

@@ -92,6 +92,26 @@ enum class GuardVerdict {
                   ///< solver for the remaining steps (true last resort).
 };
 
+/// Complete mutable state of a ModelSwitchController at a step boundary.
+/// Produced by checkpoint() and consumed by restore() on a controller
+/// constructed with the same candidates/database/q/total_steps, so a
+/// suspended session resumes with bit-identical switching decisions
+/// (core::SessionStepper persistence). The construction-time inputs are
+/// deliberately absent: they belong to the artifacts, not the checkpoint.
+struct ControllerCheckpoint {
+  std::size_t current = 0;
+  bool restart = false;
+  bool exhausted = false;
+  int cooldown_checks_left = 0;
+  int last_direction = 0;
+  double last_predicted_quality = 0.0;
+  std::vector<bool> quarantined;
+  std::vector<std::vector<int>> trip_steps;
+  std::vector<double> window_steps;
+  std::vector<double> window_values;
+  std::vector<SwitchEvent> events;
+};
+
 /// The quality-aware model-switch state machine. It is substrate-agnostic:
 /// feed it per-step CumDivNorm telemetry, read back which candidate to run
 /// next; the simulation session (src/core) owns the actual networks.
@@ -143,6 +163,17 @@ class ModelSwitchController {
   [[nodiscard]] double last_predicted_quality() const {
     return last_predicted_quality_;
   }
+
+  /// Snapshot every mutable field for session suspend (step-boundary
+  /// only: the controller holds no intra-step state). The wall clock
+  /// stamping SwitchEvent::seconds_offset restarts on restore — offsets
+  /// of post-resume events are relative to the resume, which is the
+  /// documented (and determinism-test-excluded) wall-clock field.
+  [[nodiscard]] ControllerCheckpoint checkpoint() const;
+  /// Restore a checkpoint taken from a controller constructed with the
+  /// same candidates/database/q/total_steps. Throws std::invalid_argument
+  /// on a candidate-count mismatch.
+  void restore(const ControllerCheckpoint& state);
 
  private:
   /// Nearest non-quarantined candidate strictly above/below `current_`

@@ -45,6 +45,20 @@ class CumDivNormExtrapolator {
   /// data from the previous model does not pollute the next fit).
   void reset_window();
 
+  /// Checkpoint seams (core session checkpoint/restore): the rolling
+  /// window is the extrapolator's only mutable state, so exposing it is
+  /// enough to suspend and resume a session bit-identically.
+  [[nodiscard]] const std::vector<double>& window_steps() const {
+    return window_steps_;
+  }
+  [[nodiscard]] const std::vector<double>& window_values() const {
+    return window_values_;
+  }
+  void set_window(std::vector<double> steps, std::vector<double> values) {
+    window_steps_ = std::move(steps);
+    window_values_ = std::move(values);
+  }
+
   [[nodiscard]] const PredictorParams& params() const { return params_; }
 
  private:

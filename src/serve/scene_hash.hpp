@@ -1,0 +1,58 @@
+#pragma once
+
+#include "core/offline.hpp"
+#include "core/session.hpp"
+#include "workload/problems.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sfn::serve {
+
+/// Incremental FNV-1a (64-bit) over a job's semantic identity. Floating
+/// fields are hashed by bit pattern — two submissions collide only when
+/// every parameter is bit-equal, which is exactly the case where the
+/// deterministic session pipeline reproduces a bit-identical result (the
+/// property the server's result cache relies on).
+class Fnv1a {
+ public:
+  void add_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_u64(std::uint64_t v) { add_bytes(&v, sizeof(v)); }
+  void add_i32(std::int32_t v) { add_bytes(&v, sizeof(v)); }
+  void add_f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_str(std::string_view s) {
+    add_u64(s.size());
+    add_bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis.
+};
+
+/// Scene hash of a fixed-model submission: the problem description plus
+/// the model's identity. Two equal hashes (same server, same borrowed
+/// artifacts) produce bit-identical SessionResults.
+std::uint64_t scene_hash_fixed(const workload::InputProblem& problem,
+                               const core::TrainedModel& model,
+                               const core::SessionConfig& session);
+
+/// Scene hash of an adaptive submission: the problem description plus the
+/// artifact set's runtime identity (selected models, requirement) and the
+/// effective quality requirement.
+std::uint64_t scene_hash_adaptive(const workload::InputProblem& problem,
+                                  const core::OfflineArtifacts& artifacts,
+                                  const core::SessionConfig& session);
+
+}  // namespace sfn::serve

@@ -1,0 +1,235 @@
+// Scheduler checkpoint/restore (DESIGN.md §16): a SessionStepper
+// suspended mid-flight through the persistence layer and resumed in a
+// fresh stepper must finish with results bit-identical to the
+// uninterrupted run — density, switch decisions, per-step model trace and
+// fallback/quarantine bookkeeping. Wall-clock fields are the only
+// excluded state (they restart from the resume).
+
+#include "core/persistence.hpp"
+#include "core/session.hpp"
+#include "core/stepper.hpp"
+#include "runtime/controller.hpp"
+#include "serve_test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+namespace sfn {
+namespace {
+
+void expect_bit_identical(const fluid::GridF& expected,
+                          const fluid::GridF& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const float a = expected[k];
+    const float b = actual[k];
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+        << label << ": cell " << k << " differs: " << a << " vs " << b;
+  }
+}
+
+void expect_same_run(const core::SessionResult& expected,
+                     const core::SessionResult& actual,
+                     const std::string& label) {
+  expect_bit_identical(expected.final_density, actual.final_density, label);
+  EXPECT_EQ(expected.model_per_step, actual.model_per_step) << label;
+  EXPECT_EQ(expected.restarted_with_pcg, actual.restarted_with_pcg) << label;
+  EXPECT_EQ(expected.fallback_steps, actual.fallback_steps) << label;
+  EXPECT_EQ(expected.quarantined_models, actual.quarantined_models) << label;
+  ASSERT_EQ(expected.events.size(), actual.events.size()) << label;
+  for (std::size_t i = 0; i < expected.events.size(); ++i) {
+    // Everything but seconds_offset (wall clock, reset by the resume).
+    EXPECT_EQ(expected.events[i].step, actual.events[i].step) << label;
+    EXPECT_EQ(expected.events[i].decision, actual.events[i].decision)
+        << label;
+    EXPECT_EQ(expected.events[i].from_candidate,
+              actual.events[i].from_candidate)
+        << label;
+    EXPECT_EQ(expected.events[i].to_candidate, actual.events[i].to_candidate)
+        << label;
+    EXPECT_EQ(expected.events[i].predicted_quality,
+              actual.events[i].predicted_quality)
+        << label;
+    EXPECT_EQ(expected.events[i].cum_div_norm, actual.events[i].cum_div_norm)
+        << label;
+  }
+}
+
+core::SessionResult run_to_end(core::SessionStepper* stepper) {
+  while (stepper->step() == core::SessionStepper::Status::kRunning) {
+  }
+  stepper->rethrow_error();
+  return stepper->take_result();
+}
+
+std::filesystem::path temp_checkpoint(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(Checkpoint, AdaptiveSuspendRestoreIsBitIdentical) {
+  const auto artifacts = test::make_test_artifacts();
+  const auto problem = test::make_test_problem(7000, 16, 20);
+
+  core::SessionStepper reference(problem, artifacts);
+  const auto uninterrupted = run_to_end(&reference);
+
+  // Suspend after 7 steps through the persistence layer, restore into a
+  // freshly constructed stepper, finish there.
+  core::SessionStepper suspended(problem, artifacts);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_EQ(suspended.step(), core::SessionStepper::Status::kRunning);
+  }
+  const auto file = temp_checkpoint("sfn_ckpt_adaptive.bin");
+  core::save_session_checkpoint(suspended, file);
+
+  core::SessionStepper resumed(problem, artifacts);
+  core::load_session_checkpoint(&resumed, file);
+  EXPECT_EQ(resumed.steps_completed(), 7);
+  const auto finished = run_to_end(&resumed);
+  std::filesystem::remove(file);
+
+  expect_same_run(uninterrupted, finished, "adaptive suspend/restore");
+}
+
+TEST(Checkpoint, FixedSuspendRestoreIsBitIdentical) {
+  const auto artifacts = test::make_test_artifacts();
+  const auto& model = artifacts.library[0];
+  const auto problem = test::make_test_problem(7100, 16, 12);
+
+  core::SessionStepper reference(problem, model);
+  const auto uninterrupted = run_to_end(&reference);
+
+  core::SessionStepper suspended(problem, model);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(suspended.step(), core::SessionStepper::Status::kRunning);
+  }
+  std::stringstream stream;  // In-memory round trip, no persistence layer.
+  suspended.save_checkpoint(stream);
+  core::SessionStepper resumed(problem, model);
+  resumed.restore_checkpoint(stream);
+  const auto finished = run_to_end(&resumed);
+
+  expect_same_run(uninterrupted, finished, "fixed suspend/restore");
+}
+
+TEST(Checkpoint, RestartPhaseSurvivesSuspendRestore) {
+  // An impossible quality requirement forces Algorithm 2's whole-run PCG
+  // restart; checkpointing inside the replay phase must capture the redo
+  // simulation and the restart bookkeeping.
+  const auto artifacts = test::make_test_artifacts();
+  // 20 steps: the first post-warmup check (step 5) escalates to the most
+  // accurate candidate, the next one triggers the whole-run restart.
+  const auto problem = test::make_test_problem(7200, 16, 20);
+  core::SessionConfig config;
+  config.quality_requirement = 1e-6;
+
+  core::SessionStepper reference(problem, artifacts, config);
+  int total_steps = 0;
+  while (reference.step() == core::SessionStepper::Status::kRunning) {
+    ++total_steps;
+  }
+  ++total_steps;  // The finishing call advanced a step too.
+  reference.rethrow_error();
+  const auto uninterrupted = reference.take_result();
+  ASSERT_TRUE(uninterrupted.restarted_with_pcg)
+      << "test premise: the tiny requirement must trigger a PCG restart";
+  ASSERT_GT(total_steps, problem.steps)
+      << "test premise: a restarted run replays extra steps";
+
+  // Suspend 3 steps before the end — inside the restart replay.
+  core::SessionStepper suspended(problem, artifacts, config);
+  for (int i = 0; i < total_steps - 3; ++i) {
+    ASSERT_EQ(suspended.step(), core::SessionStepper::Status::kRunning);
+  }
+  const auto file = temp_checkpoint("sfn_ckpt_restart.bin");
+  core::save_session_checkpoint(suspended, file);
+  core::SessionStepper resumed(problem, artifacts, config);
+  core::load_session_checkpoint(&resumed, file);
+  const auto finished = run_to_end(&resumed);
+  std::filesystem::remove(file);
+
+  expect_same_run(uninterrupted, finished, "restart-phase suspend/restore");
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedProblem) {
+  const auto artifacts = test::make_test_artifacts();
+  core::SessionStepper source(test::make_test_problem(7300, 16, 12),
+                              artifacts);
+  ASSERT_EQ(source.step(), core::SessionStepper::Status::kRunning);
+  std::stringstream stream;
+  source.save_checkpoint(stream);
+
+  // Different seed — different problem identity — must fail loudly
+  // before any state is committed.
+  core::SessionStepper other(test::make_test_problem(7301, 16, 12),
+                             artifacts);
+  EXPECT_THROW(other.restore_checkpoint(stream), std::invalid_argument);
+
+  // A fixed stepper cannot consume an adaptive checkpoint either.
+  stream.clear();
+  stream.seekg(0);
+  core::SessionStepper fixed(test::make_test_problem(7300, 16, 12),
+                             artifacts.library[0]);
+  EXPECT_THROW(fixed.restore_checkpoint(stream), std::invalid_argument);
+}
+
+TEST(Checkpoint, RestoreRejectsTruncatedStream) {
+  const auto artifacts = test::make_test_artifacts();
+  core::SessionStepper source(test::make_test_problem(7400, 16, 12),
+                              artifacts);
+  ASSERT_EQ(source.step(), core::SessionStepper::Status::kRunning);
+  std::stringstream stream;
+  source.save_checkpoint(stream);
+  const std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  core::SessionStepper target(test::make_test_problem(7400, 16, 12),
+                              artifacts);
+  EXPECT_THROW(target.restore_checkpoint(truncated), std::runtime_error);
+  // The failed restore left the stepper usable: it still finishes.
+  EXPECT_GT(run_to_end(&target).final_density.size(), 0u);
+}
+
+TEST(Checkpoint, ControllerCheckpointRoundTripsThroughStepper) {
+  // The controller's resumable state (current candidate, cooldown,
+  // predictor window, quarantine/trip ledgers, event log) is exercised by
+  // checkpointing right after a switch decision: the resumed run must
+  // reproduce the remaining decisions exactly.
+  const auto artifacts = test::make_test_artifacts();
+  const auto problem = test::make_test_problem(7500, 16, 24);
+
+  core::SessionStepper reference(problem, artifacts);
+  const auto uninterrupted = run_to_end(&reference);
+
+  for (const int at : {1, 11, 23}) {
+    core::SessionStepper suspended(problem, artifacts);
+    for (int i = 0; i < at; ++i) {
+      ASSERT_EQ(suspended.step(), core::SessionStepper::Status::kRunning);
+    }
+    std::stringstream stream;
+    suspended.save_checkpoint(stream);
+    core::SessionStepper resumed(problem, artifacts);
+    resumed.restore_checkpoint(stream);
+    const auto finished = run_to_end(&resumed);
+    expect_same_run(uninterrupted, finished,
+                    "controller round trip at step " + std::to_string(at));
+  }
+}
+
+TEST(Checkpoint, SaveAfterCompletionThrows) {
+  const auto artifacts = test::make_test_artifacts();
+  core::SessionStepper stepper(test::make_test_problem(7600, 16, 4),
+                               artifacts);
+  while (stepper.step() == core::SessionStepper::Status::kRunning) {
+  }
+  std::stringstream stream;
+  EXPECT_THROW(stepper.save_checkpoint(stream), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sfn

@@ -185,6 +185,43 @@ TEST_F(ServeDeterminism, OmpTeamSizeDoesNotChangeResults) {
   expect_same_events(serial.events, parallel4.events, "omp teams 1 vs 4");
 }
 
+TEST_F(ServeDeterminism, SchedulerModesAgreeBitwise) {
+  // The cooperative scheduler (sessions sliced over few workers, resuming
+  // on arbitrary threads) and the thread-per-session mode drive the same
+  // SessionStepper, so their outputs must be bit-identical — to each
+  // other and to solo runs. slice_steps=1 maximises worker migration.
+  serve::ServerConfig coop;
+  coop.sched = serve::ServerConfig::Sched::kCoop;
+  coop.session_threads = 2;
+  coop.slice_steps = 1;
+  serve::ServerConfig threads = coop;
+  threads.sched = serve::ServerConfig::Sched::kThreads;
+  threads.session_threads = 4;
+
+  serve::SessionServer a(coop);
+  serve::SessionServer b(threads);
+  std::vector<serve::SessionServer::JobId> ids_a;
+  std::vector<serve::SessionServer::JobId> ids_b;
+  for (const auto& problem : problems_) {
+    ids_a.push_back(a.submit_adaptive(problem, *artifacts_));
+    ids_b.push_back(b.submit_adaptive(problem, *artifacts_));
+  }
+  for (std::size_t i = 0; i < problems_.size(); ++i) {
+    const auto ra = a.wait(ids_a[i]);
+    const auto rb = b.wait(ids_b[i]);
+    const auto solo = core::run_adaptive(problems_[i], *artifacts_);
+    const std::string label = "sched problem=" + std::to_string(i);
+    expect_bit_identical(solo.final_density, ra.final_density,
+                         label + " coop");
+    expect_bit_identical(solo.final_density, rb.final_density,
+                         label + " threads");
+    expect_same_events(solo.events, ra.events, label + " coop");
+    expect_same_events(solo.events, rb.events, label + " threads");
+    EXPECT_EQ(ra.model_per_step, rb.model_per_step) << label;
+    EXPECT_EQ(ra.quarantined_models, rb.quarantined_models) << label;
+  }
+}
+
 TEST_F(ServeDeterminism, RepeatedServedRunsAreStable) {
   // Same server, same problem, run twice back-to-back: per-session state
   // isolation means the first run cannot leak anything into the second.

@@ -1,0 +1,397 @@
+// Cooperative event scheduler + admission control (DESIGN.md §16): many
+// sessions multiplexing over few workers with bit-identical results,
+// per-tenant budgets, the scene-hash result cache, degraded-mode
+// shedding through the quarantine ledger, queue-capacity validation, and
+// the blocked-submit vs shutdown liveness contract.
+
+#include "core/session.hpp"
+#include "fluid/pcg.hpp"
+#include "serve/session_server.hpp"
+#include "serve_test_support.hpp"
+#include "util/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sfn {
+namespace {
+
+void expect_bit_identical(const fluid::GridF& expected,
+                          const fluid::GridF& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const float a = expected[k];
+    const float b = actual[k];
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+        << label << ": cell " << k << " differs: " << a << " vs " << b;
+  }
+}
+
+/// Solver wrapper that parks its session's first (and every) solve until
+/// the gate opens — a deterministic way to keep a job "running" while the
+/// test exercises admission decisions that depend on in-flight state.
+class GatedSolver final : public fluid::PoissonSolver {
+ public:
+  struct Gate {
+    util::Mutex m;
+    util::CondVar cv;
+    bool open SFN_GUARDED_BY(m) = false;
+
+    void release() {
+      {
+        const util::MutexLock lock(m);
+        open = true;
+      }
+      cv.notify_all();
+    }
+    void wait_open() {
+      const util::MutexLock lock(m);
+      while (!open) {
+        cv.wait(m);
+      }
+    }
+  };
+
+  GatedSolver(std::unique_ptr<fluid::PoissonSolver> inner,
+              std::shared_ptr<Gate> gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+
+  fluid::SolveStats solve(const fluid::FlagGrid& flags,
+                          const fluid::GridF& rhs,
+                          fluid::GridF* pressure) override {
+    gate_->wait_open();
+    return inner_->solve(flags, rhs, pressure);
+  }
+
+  [[nodiscard]] std::string name() const override { return "gated"; }
+
+ private:
+  std::unique_ptr<fluid::PoissonSolver> inner_;
+  std::shared_ptr<Gate> gate_;
+};
+
+core::SessionConfig gated_config(std::shared_ptr<GatedSolver::Gate> gate) {
+  core::SessionConfig config;
+  config.solver_decorator = [gate = std::move(gate)](
+                                std::size_t,
+                                std::unique_ptr<fluid::PoissonSolver> inner) {
+    return std::make_unique<GatedSolver>(std::move(inner), gate);
+  };
+  return config;
+}
+
+TEST(Scheduler, CoopMultiplexesManySessionsOverFewWorkers) {
+  // The tentpole claim: 64 concurrent sessions on 2 OS threads, yielding
+  // every step, and every result is bit-identical to a solo run.
+  const auto artifacts = test::make_test_artifacts();
+  constexpr int kSessions = 64;
+
+  serve::ServerConfig config;
+  config.sched = serve::ServerConfig::Sched::kCoop;
+  config.session_threads = 2;
+  config.slice_steps = 1;  // Maximum interleaving.
+  config.queue_capacity = kSessions;
+  config.degraded_shedding = false;  // This test wants full-quality runs.
+  serve::SessionServer server(config);
+
+  std::vector<workload::InputProblem> problems;
+  std::vector<serve::SessionServer::JobId> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    problems.push_back(test::make_test_problem(5000 + i, 16, 6));
+    ids.push_back(server.submit_adaptive(problems.back(), artifacts));
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    const auto result = server.wait(ids[i]);
+    if (i % 16 == 0) {  // Spot-check bit-identity against solo runs.
+      const auto solo = core::run_adaptive(problems[i], artifacts);
+      expect_bit_identical(solo.final_density, result.final_density,
+                           "coop session " + std::to_string(i));
+      EXPECT_EQ(solo.model_per_step, result.model_per_step);
+    } else {
+      EXPECT_GT(result.final_density.size(), 0u);
+    }
+  }
+  EXPECT_EQ(server.jobs_completed(), static_cast<std::uint64_t>(kSessions));
+  // Coalescer backlog stays bounded by concurrent *slices*, not by the
+  // (much larger) number of co-resident sessions.
+  EXPECT_LE(server.coalescer().queue_high_water(), config.session_threads);
+}
+
+TEST(Scheduler, QueueCapacityZeroClampedEverywhere) {
+  // Constructor-side validation (a zero queue would deadlock kBlock and
+  // always-throw kReject): clamped to 1 with a warning, server still
+  // serves — under both overflow policies.
+  for (const auto overflow : {serve::ServerConfig::Overflow::kBlock,
+                              serve::ServerConfig::Overflow::kReject}) {
+    serve::ServerConfig config;
+    config.queue_capacity = 0;
+    config.overflow = overflow;
+    config.session_threads = 1;
+    serve::SessionServer server(config);
+    EXPECT_EQ(server.config().queue_capacity, 1u);
+    const auto artifacts = test::make_test_artifacts();
+    const auto id =
+        server.submit_fixed(test::make_test_problem(6000, 16, 4),
+                            artifacts.library[0]);
+    EXPECT_GT(server.wait(id).final_density.size(), 0u);
+  }
+
+  // Env-side validation: SFN_SERVE_QUEUE=0 is clamped in from_env too.
+  ::setenv("SFN_SERVE_QUEUE", "0", 1);
+  ::setenv("SFN_SCHED_SLICE", "0", 1);
+  ::setenv("SFN_SCHED", "threads", 1);
+  const auto from_env = serve::ServerConfig::from_env();
+  ::unsetenv("SFN_SERVE_QUEUE");
+  ::unsetenv("SFN_SCHED_SLICE");
+  ::unsetenv("SFN_SCHED");
+  EXPECT_EQ(from_env.queue_capacity, 1u);
+  EXPECT_EQ(from_env.slice_steps, 1);
+  EXPECT_EQ(from_env.sched, serve::ServerConfig::Sched::kThreads);
+  EXPECT_EQ(serve::ServerConfig::from_env().sched,
+            serve::ServerConfig::Sched::kCoop);
+}
+
+TEST(Scheduler, BlockedSubmitWokenByShutdown) {
+  // Liveness regression (the bug this PR fixes): a submitter blocked on a
+  // full queue must be woken by a racing shutdown() and leave with
+  // ServerStoppedError — not sleep forever on a queue that will never
+  // drain below capacity.
+  const auto artifacts = test::make_test_artifacts();
+  auto gate = std::make_shared<GatedSolver::Gate>();
+
+  serve::ServerConfig config;
+  config.session_threads = 1;
+  config.max_active_sessions = 1;
+  config.queue_capacity = 1;
+  config.overflow = serve::ServerConfig::Overflow::kBlock;
+  serve::SessionServer server(config);
+
+  // Fill the server: one gated job holds the activation slot, one more
+  // occupies the whole queue.
+  const auto running = server.submit_fixed(
+      test::make_test_problem(6100, 16, 4), artifacts.library[0],
+      gated_config(gate));
+  const auto queued = server.submit_fixed(test::make_test_problem(6101, 16, 4),
+                                          artifacts.library[0]);
+
+  bool stopped_error = false;
+  std::thread submitter([&] {
+    try {
+      server.submit_fixed(test::make_test_problem(6102, 16, 4),
+                          artifacts.library[0]);
+    } catch (const serve::ServerStoppedError&) {
+      stopped_error = true;
+    }
+  });
+  // Give the submitter time to reach the blocking wait, then race
+  // shutdown against it; release the gate afterwards so the drain can
+  // finish. If the wake-up were missing, `submitter` (and shutdown's
+  // drain) would hang and the test would time out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread stopper([&] { server.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate->release();
+  submitter.join();
+  stopper.join();
+
+  EXPECT_TRUE(stopped_error);
+  EXPECT_GT(server.wait(running).final_density.size(), 0u);
+  EXPECT_GT(server.wait(queued).final_density.size(), 0u);
+}
+
+TEST(Scheduler, TenantBudgetBoundsInflightPerTenant) {
+  const auto artifacts = test::make_test_artifacts();
+  auto gate = std::make_shared<GatedSolver::Gate>();
+
+  serve::ServerConfig config;
+  config.session_threads = 1;
+  config.max_active_sessions = 1;  // Keep admitted jobs visibly in flight.
+  config.queue_capacity = 8;
+  config.tenant_budget = 2;
+  serve::SessionServer server(config);
+
+  serve::JobOptions tenant_a;
+  tenant_a.tenant = "tenant-a";
+  serve::JobOptions tenant_b;
+  tenant_b.tenant = "tenant-b";
+
+  const auto first = server.submit_fixed(test::make_test_problem(6200, 16, 4),
+                                         artifacts.library[0],
+                                         gated_config(gate), tenant_a);
+  const auto second = server.submit_fixed(
+      test::make_test_problem(6201, 16, 4), artifacts.library[0], {},
+      tenant_a);
+  // tenant-a is at budget (2 in flight): both throwing and non-throwing
+  // admission must shed, while tenant-b is unaffected.
+  EXPECT_THROW(server.submit_fixed(test::make_test_problem(6202, 16, 4),
+                                   artifacts.library[0], {}, tenant_a),
+               serve::TenantBudgetError);
+  EXPECT_FALSE(server
+                   .try_submit_fixed(test::make_test_problem(6203, 16, 4),
+                                     artifacts.library[0], {}, tenant_a)
+                   .has_value());
+  const auto other = server.submit_fixed(test::make_test_problem(6204, 16, 4),
+                                         artifacts.library[0], {}, tenant_b);
+
+  gate->release();
+  server.wait_all();
+  // Budget released with the finished jobs: tenant-a submits again.
+  const auto third = server.submit_fixed(test::make_test_problem(6205, 16, 4),
+                                         artifacts.library[0], {}, tenant_a);
+  for (const auto id : {first, second, other, third}) {
+    EXPECT_GT(server.wait(id).final_density.size(), 0u);
+  }
+}
+
+TEST(Scheduler, ResultCacheServesIdenticalResubmissions) {
+  const auto artifacts = test::make_test_artifacts();
+  const auto& model = artifacts.library[0];
+  const auto problem = test::make_test_problem(6300, 16, 6);
+
+  serve::ServerConfig config;
+  config.session_threads = 2;
+  config.result_cache_entries = 4;
+  serve::SessionServer server(config);
+
+  const auto first = server.wait(server.submit_fixed(problem, model));
+  EXPECT_EQ(server.cache_hits(), 0u);
+
+  // Bit-identical resubmission: served from the cache, still redeemable
+  // through the normal wait() path, result bit-identical.
+  const auto hit = server.wait(server.submit_fixed(problem, model));
+  EXPECT_EQ(server.cache_hits(), 1u);
+  expect_bit_identical(first.final_density, hit.final_density, "cache hit");
+  EXPECT_EQ(first.model_per_step, hit.model_per_step);
+
+  // Opt-out and different-scene submissions bypass the cache.
+  serve::JobOptions uncached;
+  uncached.cacheable = false;
+  server.wait(server.submit_fixed(problem, model, {}, uncached));
+  server.wait(
+      server.submit_fixed(test::make_test_problem(6301, 16, 6), model));
+  EXPECT_EQ(server.cache_hits(), 1u);
+
+  // Adaptive submissions are cached on the same ladder.
+  const auto a1 = server.wait(server.submit_adaptive(problem, artifacts));
+  const auto a2 = server.wait(server.submit_adaptive(problem, artifacts));
+  EXPECT_EQ(server.cache_hits(), 2u);
+  expect_bit_identical(a1.final_density, a2.final_density, "adaptive hit");
+}
+
+TEST(Scheduler, ResultCacheEvictsLeastRecentlyUsed) {
+  const auto artifacts = test::make_test_artifacts();
+  const auto& model = artifacts.library[0];
+  serve::ServerConfig config;
+  config.session_threads = 1;
+  config.result_cache_entries = 1;
+  serve::SessionServer server(config);
+
+  const auto problem_a = test::make_test_problem(6400, 16, 4);
+  const auto problem_b = test::make_test_problem(6401, 16, 4);
+  server.wait(server.submit_fixed(problem_a, model));
+  server.wait(server.submit_fixed(problem_b, model));  // Evicts A.
+  server.wait(server.submit_fixed(problem_a, model));  // Miss.
+  EXPECT_EQ(server.cache_hits(), 0u);
+  server.wait(server.submit_fixed(problem_a, model));  // Hit.
+  EXPECT_EQ(server.cache_hits(), 1u);
+}
+
+TEST(Scheduler, DegradedSheddingPinsCheapestHealthyModel) {
+  const auto artifacts = test::make_test_artifacts();
+  auto gate = std::make_shared<GatedSolver::Gate>();
+
+  serve::ServerConfig config;
+  config.session_threads = 1;
+  config.max_active_sessions = 1;
+  config.queue_capacity = 4;
+  config.shed_watermark = 0.5;  // Backlog of 2 trips shedding.
+  serve::SessionServer server(config);
+  // Operator marked the cheapest candidate unhealthy: degraded jobs must
+  // land on the cheapest *surviving* one (the quarantine ledger).
+  server.mark_model_unhealthy(artifacts.library[0].records.model_id);
+  EXPECT_EQ(server.unhealthy_model_count(), 1u);
+
+  const auto held = server.submit_fixed(test::make_test_problem(6500, 16, 4),
+                                        artifacts.library[0],
+                                        gated_config(gate));
+  const auto problem = test::make_test_problem(6501, 16, 6);
+  const auto full1 = server.submit_adaptive(problem, artifacts);   // queue 1
+  const auto full2 = server.submit_adaptive(problem, artifacts);   // queue 2
+  const auto shed = server.submit_adaptive(
+      test::make_test_problem(6502, 16, 6), artifacts);  // backlog ≥ 2: shed
+  EXPECT_EQ(server.jobs_degraded(), 1u);
+
+  gate->release();
+  const auto shed_result = server.wait(shed);
+  // The degraded job ran as a fixed session pinned to model 1 (model 0 is
+  // unhealthy): every step is attributed to it and no switching happened.
+  for (const std::size_t step_model : shed_result.model_per_step) {
+    EXPECT_EQ(step_model, artifacts.library[1].records.model_id);
+  }
+  EXPECT_TRUE(shed_result.events.empty());
+  for (const auto id : {held, full1, full2}) {
+    EXPECT_GT(server.wait(id).final_density.size(), 0u);
+  }
+}
+
+/// Overwrites every second pressure answer with NaN so the health guard
+/// trips on a fixed cadence and quarantines the session's models.
+class PoisonSolver final : public fluid::PoissonSolver {
+ public:
+  explicit PoisonSolver(std::unique_ptr<fluid::PoissonSolver> inner)
+      : inner_(std::move(inner)) {}
+
+  fluid::SolveStats solve(const fluid::FlagGrid& flags,
+                          const fluid::GridF& rhs,
+                          fluid::GridF* pressure) override {
+    auto stats = inner_->solve(flags, rhs, pressure);
+    if (++calls_ % 2 == 0) {
+      for (std::size_t k = 0; k < pressure->size(); ++k) {
+        (*pressure)[k] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+    return stats;
+  }
+
+  [[nodiscard]] std::string name() const override { return "poison"; }
+
+ private:
+  std::unique_ptr<fluid::PoissonSolver> inner_;
+  int calls_ = 0;
+};
+
+TEST(Scheduler, QuarantineLedgerFedByFinishedSessions) {
+  // A session whose guard quarantined a model reports it in its result;
+  // the server folds that into the ledger degraded scheduling reads.
+  const auto artifacts = test::make_test_artifacts();
+  serve::ServerConfig config;
+  config.session_threads = 1;
+  serve::SessionServer server(config);
+  EXPECT_EQ(server.unhealthy_model_count(), 0u);
+  server.mark_model_unhealthy(7);
+  server.mark_model_unhealthy(7);  // Idempotent.
+  EXPECT_EQ(server.unhealthy_model_count(), 1u);
+
+  core::SessionConfig poisoned;
+  poisoned.solver_decorator =
+      [](std::size_t, std::unique_ptr<fluid::PoissonSolver> inner) {
+        return std::make_unique<PoisonSolver>(std::move(inner));
+      };
+  const auto result = server.wait(server.submit_adaptive(
+      test::make_test_problem(6600, 16, 10), artifacts, poisoned));
+  ASSERT_FALSE(result.quarantined_models.empty());
+  EXPECT_EQ(server.unhealthy_model_count(),
+            1u + result.quarantined_models.size());
+}
+
+}  // namespace
+}  // namespace sfn

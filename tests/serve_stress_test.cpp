@@ -181,6 +181,23 @@ TEST(ServeStress, RejectOverflowPolicyShedsLoadInsteadOfBlocking) {
   EXPECT_LE(server.queue_high_water(), config.queue_capacity);
 }
 
+TEST(ServeStress, WaitRejectsUnknownAndRedeemedIds) {
+  // A wait() on an id the server never issued (or already redeemed) is a
+  // caller bug; it must fail loudly instead of blocking forever on a
+  // result that will never arrive.
+  const auto artifacts = test::make_test_artifacts();
+  serve::SessionServer server;
+  EXPECT_THROW(server.wait(12345), std::invalid_argument);
+
+  const auto id =
+      server.submit_fixed(test::make_test_problem(4500, 16, 4),
+                          artifacts.library[0]);
+  EXPECT_GT(server.wait(id).final_density.size(), 0u);
+  EXPECT_THROW(server.wait(id), std::invalid_argument);
+  // Id 0 is never issued (ids start at 1).
+  EXPECT_THROW(server.wait(0), std::invalid_argument);
+}
+
 TEST(ServeStress, FaultedFixedSessionsStayFiniteUnderBatching) {
   // run_fixed has no guard machinery; the point here is narrower — a
   // poisoned fixed session routed through the coalescer must not corrupt

@@ -1,0 +1,149 @@
+// Per-family adversarial-scene robustness table: every SceneFamily
+// (vortex ring, shear layer, jet-with-obstacle, moving obstacle) runs
+// end-to-end through the adaptive runtime and reports its success rate,
+// guard activity and observed CumDivNorm.
+//
+// Deliberately training-free: the artifacts are synthetic untrained
+// networks (the same construction the fault-injection tests use), so the
+// bench measures the robustness machinery — inflow faces, per-step flag
+// re-rasterisation, the degradation ladder — not surrogate quality, and
+// runs in seconds inside the CI bench-artifacts job.
+//
+// Knobs (see README): SFN_SCENE_FAMILIES filters the families by name
+// (comma-separated), SFN_SCENE_PROBLEMS sets the problems per family.
+
+#include "bench/common.hpp"
+#include "workload/scenes.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sfn;
+
+/// Two-model synthetic artifact set with real (untrained) networks and a
+/// linear KNN database; mirrors tests/fault_injection_test.cpp so the
+/// bench needs no offline phase and no cache.
+core::OfflineArtifacts make_artifacts() {
+  core::OfflineArtifacts artifacts;
+  util::Rng rng(7);
+  for (std::size_t m = 0; m < 2; ++m) {
+    core::TrainedModel model;
+    model.spec = modelgen::tompson_spec(4 + 2 * static_cast<int>(m));
+    model.net = modelgen::build_network(model.spec, rng);
+    model.origin = "scene-families-bench";
+    model.mean_seconds = 0.5 + 0.5 * static_cast<double>(m);
+    model.mean_quality = 0.05 - 0.02 * static_cast<double>(m);
+    model.records.model_id = m;
+    artifacts.library.models.push_back(std::move(model));
+    artifacts.pareto_ids.push_back(m);
+    artifacts.selected_ids.push_back(m);
+    quality::CandidateScore score;
+    score.model_id = m;
+    score.success_probability = 0.6 + 0.2 * static_cast<double>(m);
+    artifacts.scores.push_back(score);
+  }
+  for (int i = 0; i <= 100; i += 5) {
+    artifacts.quality_db.add(i, 0.01 + 0.04 * i / 100.0);
+  }
+  artifacts.requirement.quality_loss = 0.5;
+  return artifacts;
+}
+
+std::vector<workload::SceneFamily> families_from_env() {
+  const std::string filter = util::env_str("SFN_SCENE_FAMILIES", "");
+  if (filter.empty()) {
+    return workload::all_scene_families();
+  }
+  std::vector<workload::SceneFamily> families;
+  std::size_t begin = 0;
+  while (begin <= filter.size()) {
+    std::size_t end = filter.find(',', begin);
+    if (end == std::string::npos) {
+      end = filter.size();
+    }
+    const std::string token = filter.substr(begin, end - begin);
+    if (!token.empty()) {
+      if (const auto family = workload::scene_family_from_string(token)) {
+        families.push_back(*family);
+      } else {
+        std::fprintf(stderr,
+                     "SFN_SCENE_FAMILIES: unknown family '%s' (ignored)\n",
+                     token.c_str());
+      }
+    }
+    begin = end + 1;
+  }
+  return families;
+}
+
+bool all_finite(const fluid::GridF& grid) {
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    if (!std::isfinite(grid[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = util::BenchConfig::from_args(argc, argv);
+  bench::banner("Adversarial scene families — per-family robustness",
+                "extension beyond Dong et al., SC'19 (workload coverage)",
+                cfg);
+
+  const auto families = families_from_env();
+  const int per_family = static_cast<int>(
+      util::env_int("SFN_SCENE_PROBLEMS", 3 * cfg.scale));
+  const int grid = std::min(24, cfg.max_grid);
+  const auto artifacts = make_artifacts();
+
+  std::printf("%zu families, %d problems each, %dx%d grid, %d steps\n\n",
+              families.size(), per_family, grid, grid, cfg.time_steps);
+
+  util::Table table({"Family", "Problems", "Success (frac)",
+                     "Fallback steps", "Quarantined", "CumDivNorm (mean)"});
+  for (const auto family : families) {
+    const auto problems = workload::generate_family_problems(
+        family, per_family, {grid, cfg.time_steps}, cfg.seed);
+    int completed = 0;
+    int fallback_steps = 0;
+    std::size_t quarantined = 0;
+    double cum_div_norm = 0.0;
+    int observed = 0;
+    for (const auto& problem : problems) {
+      const auto result = core::run_adaptive(problem, artifacts);
+      if (all_finite(result.final_density) && !result.restarted_with_pcg) {
+        ++completed;
+      }
+      fallback_steps += result.fallback_steps;
+      quarantined += result.quarantined_models.size();
+      if (!result.events.empty()) {
+        cum_div_norm += result.events.back().cum_div_norm;
+        ++observed;
+      }
+    }
+    const double success =
+        problems.empty()
+            ? 0.0
+            : static_cast<double>(completed) /
+                  static_cast<double>(problems.size());
+    table.add_row({workload::to_string(family),
+                   std::to_string(problems.size()), util::fmt(success, 3),
+                   std::to_string(fallback_steps),
+                   std::to_string(quarantined),
+                   observed > 0 ? util::fmt_sci(cum_div_norm / observed, 3)
+                                : "-"});
+  }
+
+  table.print("Per-family robustness (adaptive runtime, synthetic "
+              "untrained surrogates):");
+  bench::write_json("BENCH_scene_families.json", cfg,
+                    {{"scene_families", &table}});
+  return 0;
+}

@@ -8,6 +8,7 @@
 // the time distribution because Algorithm 2 starts on it.
 
 #include "bench/common.hpp"
+#include "workload/scenes.hpp"
 
 #include <map>
 
@@ -111,8 +112,47 @@ int main(int argc, char** argv) {
   }
   decisions.print("\nController decisions (observed CumDivNorm, wall-clock "
                   "offset of each check):");
+
+  // Where the runtime spends its time per adversarial scene family: the
+  // surrogate/exact split plus guard activity, at a smaller grid so the
+  // family sweep stays cheap next to the main table.
+  util::Table families({"Family", "Surrogate share (pct)",
+                        "Exact share (pct)", "Fallback steps",
+                        "Quarantined"});
+  const int family_grid = std::min(24, ctx.cfg.max_grid);
+  for (const auto family : workload::all_scene_families()) {
+    const auto family_problems = workload::generate_family_problems(
+        family, 3, {family_grid, ctx.cfg.time_steps}, ctx.cfg.seed + 33);
+    double family_total = 0.0;
+    double family_exact = 0.0;
+    int family_fallbacks = 0;
+    std::size_t family_quarantined = 0;
+    for (const auto& problem : family_problems) {
+      const auto result = core::run_adaptive(problem, ctx.artifacts, session);
+      for (const auto& [id, seconds] : result.seconds_per_model) {
+        family_total += seconds;
+        if (id == core::SessionResult::kPcgModelId) {
+          family_exact += seconds;
+        }
+      }
+      family_fallbacks += result.fallback_steps;
+      family_quarantined += result.quarantined_models.size();
+    }
+    const double exact_share =
+        family_total > 0.0 ? family_exact / family_total : 0.0;
+    families.add_row({workload::to_string(family),
+                      util::fmt(100.0 * (1.0 - exact_share), 2),
+                      util::fmt(100.0 * exact_share, 2),
+                      std::to_string(family_fallbacks),
+                      std::to_string(family_quarantined)});
+  }
+  families.print("\nPer-family time split (surrogate vs exact solver, " +
+                 std::to_string(family_grid) + "x" +
+                 std::to_string(family_grid) + " grid):");
+
   bench::write_json("BENCH_table3_time_distribution.json", ctx.cfg,
-                    {{"table3", &table}, {"decisions", &decisions}});
+                    {{"table3", &table}, {"decisions", &decisions},
+                     {"table3_families", &families}});
 
   std::printf("\nhighest-probability model also takes the largest time "
               "share: %s (paper: yes, 50.56%%)\n",

@@ -8,9 +8,10 @@ namespace sfn::fluid {
 
 /// Cell classification for the MAC discretisation.
 enum class CellType : std::uint8_t {
-  kFluid = 0,  ///< Interior cell solved for pressure.
-  kSolid = 1,  ///< Static obstacle / wall: u.n = 0 on its faces.
-  kEmpty = 2,  ///< Open (free-surface/outflow) cell: Dirichlet p = 0.
+  kFluid = 0,   ///< Interior cell solved for pressure.
+  kSolid = 1,   ///< Static obstacle / wall: u.n = 0 on its faces.
+  kEmpty = 2,   ///< Open (free-surface/outflow) cell: Dirichlet p = 0.
+  kInflow = 3,  ///< Inlet: prescribed face velocity, Neumann pressure.
 };
 
 /// Grid of cell types with helpers for the standard smoke-box setup:
@@ -33,11 +34,19 @@ class FlagGrid {
   }
   [[nodiscard]] bool is_solid(int i, int j) const {
     // Out-of-range counts as solid so the domain boundary behaves as a wall
-    // even if the caller forgot to rasterise border cells.
-    return !cells_.inside(i, j) || cells_(i, j) == CellType::kSolid;
+    // even if the caller forgot to rasterise border cells. Inflow cells are
+    // velocity-prescribed, which for the pressure stencil, advection hold
+    // and gradient update is exactly the solid (Neumann) treatment — the
+    // only difference is that their faces are re-pinned to the prescribed
+    // velocity instead of zero (SmokeSim::pin_boundary_velocities).
+    return !cells_.inside(i, j) || cells_(i, j) == CellType::kSolid ||
+           cells_(i, j) == CellType::kInflow;
   }
   [[nodiscard]] bool is_empty(int i, int j) const {
     return cells_.inside(i, j) && cells_(i, j) == CellType::kEmpty;
+  }
+  [[nodiscard]] bool is_inflow(int i, int j) const {
+    return cells_.inside(i, j) && cells_(i, j) == CellType::kInflow;
   }
 
   /// Solid walls on left/right/bottom borders, empty (open) top row.

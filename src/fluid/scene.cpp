@@ -1,0 +1,103 @@
+#include "fluid/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfn::fluid {
+
+bool Obstacle::contains(double x, double y) const {
+  // Transform into the obstacle's local frame.
+  const double dxw = x - cx;
+  const double dyw = y - cy;
+  const double c = std::cos(-angle);
+  const double s = std::sin(-angle);
+  const double lx = c * dxw - s * dyw;
+  const double ly = s * dxw + c * dyw;
+
+  switch (kind) {
+    case Kind::kCircle: {
+      const double nx = lx / rx;
+      const double ny = ly / ry;
+      return nx * nx + ny * ny <= 1.0;
+    }
+    case Kind::kBox:
+      return std::abs(lx) <= rx && std::abs(ly) <= ry;
+    case Kind::kCapsule: {
+      // Segment along local y of half-length ry, radius rx.
+      const double t = std::clamp(ly, -ry, ry);
+      const double dx2 = lx * lx + (ly - t) * (ly - t);
+      return dx2 <= rx * rx;
+    }
+  }
+  return false;
+}
+
+Obstacle Obstacle::pose_at(double t) const {
+  Obstacle posed = *this;
+  posed.cx = cx + vx * t;
+  posed.cy = cy + vy * t;
+  posed.angle = angle + omega * t;
+  return posed;
+}
+
+std::pair<double, double> Obstacle::velocity_at(double x, double y) const {
+  return {vx - omega * (y - cy), vy + omega * (x - cx)};
+}
+
+void rasterize_obstacles(const std::vector<Obstacle>& obstacles,
+                         FlagGrid* flags) {
+  const int nx = flags->nx();
+  const int ny = flags->ny();
+  const double dx = 1.0 / nx;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (flags->at(i, j) != CellType::kFluid) {
+        continue;
+      }
+      const double x = (i + 0.5) * dx;
+      const double y = (j + 0.5) * dx;
+      for (const auto& ob : obstacles) {
+        if (ob.contains(x, y)) {
+          flags->set(i, j, CellType::kSolid);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void stamp_inflow_cells(const std::vector<InflowRegion>& inflows,
+                        FlagGrid* flags) {
+  if (inflows.empty()) {
+    return;
+  }
+  const int nx = flags->nx();
+  const int ny = flags->ny();
+  const double dx = 1.0 / nx;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double x = (i + 0.5) * dx;
+      const double y = (j + 0.5) * dx;
+      for (const auto& region : inflows) {
+        if (region.contains(x, y)) {
+          flags->set(i, j, CellType::kInflow);
+          break;
+        }
+      }
+    }
+  }
+}
+
+const InflowRegion* inflow_region_at(
+    const std::vector<InflowRegion>& inflows, int i, int j, double dx) {
+  const double x = (i + 0.5) * dx;
+  const double y = (j + 0.5) * dx;
+  for (const auto& region : inflows) {
+    if (region.contains(x, y)) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sfn::fluid

@@ -1,0 +1,98 @@
+#pragma once
+
+#include "fluid/flags.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace sfn::fluid {
+
+/// Procedural obstacle placed in the simulation domain (world units over
+/// the unit square). Substitutes for the NTU 3D Model Dataset objects the
+/// paper rasterises into occupancy grids: what matters downstream is that
+/// problems differ in solid geometry, which shapes the pressure field.
+/// An obstacle may carry rigid-body motion (vx/vy/omega); the sim then
+/// re-rasterises it each step and pins its face velocities to the motion.
+struct Obstacle {
+  enum class Kind { kCircle, kBox, kCapsule };
+  Kind kind = Kind::kCircle;
+  double cx = 0.5;
+  double cy = 0.5;
+  double rx = 0.1;   ///< Radius / half-width.
+  double ry = 0.1;   ///< Half-height (capsule: segment half-length).
+  double angle = 0;  ///< Rotation (box/capsule), radians.
+
+  // Rigid-body motion: linear velocity (world units / world second) and
+  // angular velocity about the centre (radians / world second). All zero
+  // means a static obstacle rasterised once at setup.
+  double vx = 0;
+  double vy = 0;
+  double omega = 0;
+
+  /// True if the world point (x, y) lies inside the obstacle.
+  [[nodiscard]] bool contains(double x, double y) const;
+
+  [[nodiscard]] bool is_moving() const {
+    return vx != 0.0 || vy != 0.0 || omega != 0.0;
+  }
+
+  /// The obstacle advanced to world time t: centre translated by
+  /// (vx, vy) * t, orientation by omega * t. Velocities are preserved so
+  /// velocity_at() on the posed copy is the material velocity at time t.
+  [[nodiscard]] Obstacle pose_at(double t) const;
+
+  /// Rigid-body velocity of the material point at world (x, y) for the
+  /// pose currently stored in cx/cy/angle:
+  ///   (vx - omega * (y - cy), vy + omega * (x - cx)).
+  [[nodiscard]] std::pair<double, double> velocity_at(double x,
+                                                      double y) const;
+};
+
+/// Axis-aligned inflow band (world units): every cell whose centre falls
+/// in [x0,x1]x[y0,y1] becomes CellType::kInflow. Faces bordering those
+/// cells are pinned to the prescribed (u, v) after every solid-boundary
+/// enforcement, and the cells hold `smoke` density, so the band acts as a
+/// continuous velocity+smoke inlet.
+struct InflowRegion {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+  double u = 0.0;      ///< Prescribed x face velocity (world units).
+  double v = 0.0;      ///< Prescribed y face velocity (world units).
+  double smoke = 0.0;  ///< Density held inside the band's cells.
+
+  [[nodiscard]] bool contains(double x, double y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+/// Time-varying scene state owned by SmokeSim beyond the static flag
+/// grid: inflow bands and rigid-body moving obstacles. An empty spec
+/// reproduces the legacy static smoke box bit-for-bit.
+struct SceneSpec {
+  std::vector<InflowRegion> inflows;
+  std::vector<Obstacle> moving_obstacles;
+
+  [[nodiscard]] bool empty() const {
+    return inflows.empty() && moving_obstacles.empty();
+  }
+};
+
+/// Rasterise obstacles into an existing flag grid (fluid cells whose
+/// centre falls inside any obstacle become solid; inflow/empty/border
+/// cells keep their type).
+void rasterize_obstacles(const std::vector<Obstacle>& obstacles,
+                         FlagGrid* flags);
+
+/// Stamp inflow bands into the flag grid: any cell (including border
+/// walls) whose centre lies in a band becomes kInflow.
+void stamp_inflow_cells(const std::vector<InflowRegion>& inflows,
+                        FlagGrid* flags);
+
+/// The band containing the centre of cell (i, j), or nullptr. dx is the
+/// cell size (1 / nx). Must match the criterion of stamp_inflow_cells.
+const InflowRegion* inflow_region_at(
+    const std::vector<InflowRegion>& inflows, int i, int j, double dx);
+
+}  // namespace sfn::fluid

@@ -10,9 +10,11 @@
 
 namespace sfn::fluid {
 
-SmokeSim::SmokeSim(SmokeParams params, FlagGrid flags)
+SmokeSim::SmokeSim(SmokeParams params, FlagGrid flags, SceneSpec scene)
     : params_(params),
+      scene_(std::move(scene)),
       flags_(std::move(flags)),
+      base_flags_(flags_),
       solid_distance_(solid_distance_field(flags_)),
       density_(flags_.nx(), flags_.ny(), 0.0f),
       pressure_(flags_.nx(), flags_.ny(), 0.0f),
@@ -22,6 +24,153 @@ SmokeSim::SmokeSim(SmokeParams params, FlagGrid flags)
       vel_scratch_(flags_.nx(), flags_.ny()),
       density_scratch_(flags_.nx(), flags_.ny(), 0.0f) {
   sources_.push_back(SmokeSource{});
+  if (!scene_.moving_obstacles.empty()) {
+    refresh_moving_geometry(0.0, /*clear_density=*/false);
+  }
+  // Inflow cells hold their smoke density across advection (the solid
+  // hold in advect_scalar), so stamping once makes the band a continuous
+  // smoke inlet.
+  if (!scene_.inflows.empty()) {
+    const double dx = 1.0 / flags_.nx();
+    for (int j = 0; j < flags_.ny(); ++j) {
+      for (int i = 0; i < flags_.nx(); ++i) {
+        if (flags_.at(i, j) != CellType::kInflow) {
+          continue;
+        }
+        const InflowRegion* region =
+            inflow_region_at(scene_.inflows, i, j, dx);
+        if (region != nullptr) {
+          density_(i, j) = static_cast<float>(region->smoke);
+        }
+      }
+    }
+  }
+}
+
+void SmokeSim::refresh_moving_geometry(double t, bool clear_density) {
+  moving_now_.clear();
+  moving_now_.reserve(scene_.moving_obstacles.size());
+  for (const auto& ob : scene_.moving_obstacles) {
+    moving_now_.push_back(ob.pose_at(t));
+  }
+  flags_ = base_flags_;
+  rasterize_obstacles(moving_now_, &flags_);
+  solid_distance_ = solid_distance_field(flags_);
+  if (clear_density) {
+    // Cells swallowed by a moving solid must not carry smoke back out
+    // when the obstacle uncovers them.
+    for (int j = 0; j < flags_.ny(); ++j) {
+      for (int i = 0; i < flags_.nx(); ++i) {
+        if (flags_.at(i, j) == CellType::kSolid &&
+            base_flags_.at(i, j) != CellType::kSolid) {
+          density_(i, j) = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void SmokeSim::pin_boundary_velocities() {
+  vel_.enforce_solid_boundaries(flags_);
+  if (scene_.inflows.empty() && moving_now_.empty()) {
+    return;
+  }
+  const int nx = flags_.nx();
+  const int ny = flags_.ny();
+  const double dx = 1.0 / nx;
+
+  // A static wall face stays zero no matter what overlaps it. The test
+  // deliberately bypasses is_solid(): border inflow cells must not count
+  // as walls.
+  const auto is_wall = [this](int i, int j) {
+    return !flags_.raw().inside(i, j) ||
+           base_flags_.at(i, j) == CellType::kSolid;
+  };
+  const auto is_moving_solid = [this](int i, int j) {
+    return flags_.raw().inside(i, j) &&
+           flags_.at(i, j) == CellType::kSolid &&
+           base_flags_.at(i, j) != CellType::kSolid;
+  };
+  // The posed obstacle that rasterised cell (i, j) this step; cell-centre
+  // containment mirrors rasterize_obstacles exactly.
+  const auto owner = [this, dx](int i, int j) -> const Obstacle* {
+    const double x = (i + 0.5) * dx;
+    const double y = (j + 0.5) * dx;
+    for (const auto& ob : moving_now_) {
+      if (ob.contains(x, y)) {
+        return &ob;
+      }
+    }
+    return nullptr;
+  };
+  const auto inflow_at = [this, dx](int i, int j) -> const InflowRegion* {
+    if (!flags_.is_inflow(i, j)) {
+      return nullptr;
+    }
+    return inflow_region_at(scene_.inflows, i, j, dx);
+  };
+
+  // u face (i, j) sits between cells (i-1, j) and (i, j) at world
+  // (i*dx, (j+0.5)*dx); v face (i, j) between (i, j-1) and (i, j) at
+  // ((i+0.5)*dx, j*dx). Precedence per face: wall > moving solid >
+  // inflow. enforce_solid_boundaries above already zeroed every face
+  // this loop looks at, so untouched faces are the zero-velocity walls.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      const int ai = i - 1;
+      if (!flags_.is_solid(ai, j) && !flags_.is_solid(i, j)) {
+        continue;  // Interior face.
+      }
+      if (is_wall(ai, j) || is_wall(i, j)) {
+        continue;
+      }
+      const double fx = i * dx;
+      const double fy = (j + 0.5) * dx;
+      if (is_moving_solid(ai, j) || is_moving_solid(i, j)) {
+        const Obstacle* ob = is_moving_solid(ai, j) ? owner(ai, j)
+                                                    : owner(i, j);
+        if (ob != nullptr) {
+          vel_.u()(i, j) = static_cast<float>(ob->velocity_at(fx, fy).first);
+        }
+        continue;
+      }
+      const InflowRegion* region = inflow_at(ai, j);
+      if (region == nullptr) {
+        region = inflow_at(i, j);
+      }
+      if (region != nullptr) {
+        vel_.u()(i, j) = static_cast<float>(region->u);
+      }
+    }
+  }
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const int aj = j - 1;
+      if (!flags_.is_solid(i, aj) && !flags_.is_solid(i, j)) {
+        continue;
+      }
+      if (is_wall(i, aj) || is_wall(i, j)) {
+        continue;
+      }
+      const double fx = (i + 0.5) * dx;
+      const double fy = j * dx;
+      if (is_moving_solid(i, aj) || is_moving_solid(i, j)) {
+        const Obstacle* ob = is_moving_solid(i, aj) ? owner(i, aj)
+                                                    : owner(i, j);
+        if (ob != nullptr) {
+          vel_.v()(i, j) = static_cast<float>(ob->velocity_at(fx, fy).second);
+        }
+        continue;
+      }
+      const InflowRegion* region = inflow_at(i, aj);
+      if (region == nullptr) {
+        region = inflow_at(i, j);
+      }
+      if (region != nullptr) {
+        vel_.v()(i, j) = static_cast<float>(region->v);
+      }
+    }
+  }
 }
 
 void SmokeSim::apply_sources() {
@@ -67,6 +216,14 @@ void SmokeSim::restore_state(const GridF& density, const GridF& pressure,
   vel_ = vel;
   cum_div_norm_ = cum_div_norm;
   steps_ = steps;
+  if (!scene_.moving_obstacles.empty()) {
+    // Flags are a pure function of (scene, steps): re-pose without
+    // touching the restored density — the next step() re-rasterises at
+    // the same time and performs the density clear itself, exactly as the
+    // uninterrupted run would.
+    refresh_moving_geometry(static_cast<double>(steps_) * params_.dt,
+                            /*clear_density=*/false);
+  }
 }
 
 GridF SmokeSim::vorticity() const {
@@ -129,6 +286,15 @@ StepTelemetry SmokeSim::step(PoissonSolver* solver, StepGuard* guard) {
   const int nx = flags_.nx();
   const int ny = flags_.ny();
 
+  if (!scene_.moving_obstacles.empty()) {
+    // Rigid-body obstacles move before the step: rasterise their pose at
+    // the current world time so advection, projection and pinning all see
+    // one consistent geometry for the whole step.
+    SFN_TRACE_SCOPE("sim.moving_flags");
+    refresh_moving_geometry(static_cast<double>(steps_) * params_.dt,
+                            /*clear_density=*/true);
+  }
+
   {
     // 1. Advection (Algorithm 1 line 4).
     SFN_TRACE_SCOPE("sim.advect");
@@ -161,7 +327,7 @@ StepTelemetry SmokeSim::step(PoissonSolver* solver, StepGuard* guard) {
     }
 
     apply_sources();
-    vel_.enforce_solid_boundaries(flags_);
+    pin_boundary_velocities();
   }
 
   {
@@ -185,7 +351,7 @@ StepTelemetry SmokeSim::step(PoissonSolver* solver, StepGuard* guard) {
       out.guard = guard->inspect(flags_, rhs_, &pressure_, out.solve);
     }
     subtract_pressure_gradient(pressure_, flags_, &vel_);
-    vel_.enforce_solid_boundaries(flags_);
+    pin_boundary_velocities();
 
     // Safety clamp: approximate pressure solves can feed energy back into
     // the velocity field; keep components finite and bounded so telemetry

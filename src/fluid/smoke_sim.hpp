@@ -6,6 +6,7 @@
 #include "fluid/guard.hpp"
 #include "fluid/mac_grid.hpp"
 #include "fluid/poisson.hpp"
+#include "fluid/scene.hpp"
 
 #include <vector>
 
@@ -57,7 +58,12 @@ struct StepTelemetry {
 /// pressure with a pluggable PoissonSolver (PCG or a neural surrogate).
 class SmokeSim {
  public:
-  SmokeSim(SmokeParams params, FlagGrid flags);
+  /// `flags` is the static scene (walls, open cells, inflow stamps,
+  /// static obstacles). A non-empty `scene` adds inflow face pinning and
+  /// rigid-body moving obstacles, which are re-rasterised onto the static
+  /// flags at the start of every step; an empty scene reproduces the
+  /// legacy static behaviour exactly.
+  SmokeSim(SmokeParams params, FlagGrid flags, SceneSpec scene = {});
 
   /// Advance one time step using `solver` for the pressure projection.
   /// An optional `guard` is consulted between the solve and the velocity
@@ -86,12 +92,24 @@ class SmokeSim {
   /// called internally by step()).
   void apply_sources();
 
+  /// Zero every face touching a solid cell, then re-pin prescribed faces:
+  /// inflow faces to their region's (u, v) and moving-obstacle faces to
+  /// the obstacle's rigid-body velocity at the face position. Static
+  /// walls always win (their faces stay zero). Called internally wherever
+  /// the legacy path called enforce_solid_boundaries; public so workload
+  /// setup can pin the initial velocity field.
+  void pin_boundary_velocities();
+
+  [[nodiscard]] const SceneSpec& scene() const { return scene_; }
+
   /// Overwrite the cross-step state from a checkpoint: density, pressure
   /// (warm-start seed), velocity, the CumDivNorm accumulator and the step
   /// counter. Everything else (divergence/rhs/scratch grids) is fully
   /// rewritten by the next step(), so this is the complete suspend/resume
-  /// surface (core::SessionStepper persistence). Throws
-  /// std::invalid_argument on a grid-shape mismatch.
+  /// surface (core::SessionStepper persistence). Moving-obstacle flags
+  /// are a pure function of (scene, steps) and are re-rasterised here
+  /// rather than checkpointed. Throws std::invalid_argument on a
+  /// grid-shape mismatch.
   void restore_state(const GridF& density, const GridF& pressure,
                      const MacGrid2& vel, double cum_div_norm, int steps);
 
@@ -102,8 +120,23 @@ class SmokeSim {
  private:
   void add_vorticity_confinement();
 
+  /// Re-pose the moving obstacles at world time t and rasterise them onto
+  /// the static flags; recomputes the solid-distance field. When
+  /// `clear_density` is set, smoke inside the moving solids is removed
+  /// (step-time behaviour; restore_state skips it to keep checkpointed
+  /// fields byte-identical).
+  void refresh_moving_geometry(double t, bool clear_density);
+
   SmokeParams params_;
+  SceneSpec scene_;
   FlagGrid flags_;
+  /// Static scene without the moving obstacles; refresh_moving_geometry
+  /// starts from this every step. Equal to flags_ when scene_ has no
+  /// moving obstacles.
+  FlagGrid base_flags_;
+  /// Moving obstacles posed at the time of the last rasterisation; the
+  /// pin pass evaluates rigid-body velocities against these.
+  std::vector<Obstacle> moving_now_;
   Grid2<int> solid_distance_;
   GridF density_;
   GridF pressure_;

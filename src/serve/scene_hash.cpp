@@ -25,6 +25,12 @@ void hash_problem(Fnv1a* h, const workload::InputProblem& problem) {
   h->add_f64(turb.base_frequency);
   h->add_f64(turb.persistence);
 
+  // Per-edge boundary spec (adversarial scene families).
+  h->add_i32(static_cast<std::int32_t>(problem.edges.left));
+  h->add_i32(static_cast<std::int32_t>(problem.edges.right));
+  h->add_i32(static_cast<std::int32_t>(problem.edges.bottom));
+  h->add_i32(static_cast<std::int32_t>(problem.edges.top));
+
   h->add_u64(problem.obstacles.size());
   for (const auto& ob : problem.obstacles) {
     h->add_i32(static_cast<std::int32_t>(ob.kind));
@@ -33,6 +39,31 @@ void hash_problem(Fnv1a* h, const workload::InputProblem& problem) {
     h->add_f64(ob.rx);
     h->add_f64(ob.ry);
     h->add_f64(ob.angle);
+    // Rigid-body motion: two problems differing only in obstacle
+    // velocity trace out different trajectories, so the motion must
+    // participate or the result cache would serve stale fields.
+    h->add_f64(ob.vx);
+    h->add_f64(ob.vy);
+    h->add_f64(ob.omega);
+  }
+
+  h->add_u64(problem.inflows.size());
+  for (const auto& region : problem.inflows) {
+    h->add_f64(region.x0);
+    h->add_f64(region.y0);
+    h->add_f64(region.x1);
+    h->add_f64(region.y1);
+    h->add_f64(region.u);
+    h->add_f64(region.v);
+    h->add_f64(region.smoke);
+  }
+
+  h->add_u64(problem.vortices.size());
+  for (const auto& blob : problem.vortices) {
+    h->add_f64(blob.cx);
+    h->add_f64(blob.cy);
+    h->add_f64(blob.radius);
+    h->add_f64(blob.strength);
   }
 
   h->add_u64(problem.sources.size());

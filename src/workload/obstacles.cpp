@@ -1,57 +1,6 @@
 #include "workload/obstacles.hpp"
 
-#include <cmath>
-
 namespace sfn::workload {
-
-bool Obstacle::contains(double x, double y) const {
-  // Transform into the obstacle's local frame.
-  const double dxw = x - cx;
-  const double dyw = y - cy;
-  const double c = std::cos(-angle);
-  const double s = std::sin(-angle);
-  const double lx = c * dxw - s * dyw;
-  const double ly = s * dxw + c * dyw;
-
-  switch (kind) {
-    case Kind::kCircle: {
-      const double nx = lx / rx;
-      const double ny = ly / ry;
-      return nx * nx + ny * ny <= 1.0;
-    }
-    case Kind::kBox:
-      return std::abs(lx) <= rx && std::abs(ly) <= ry;
-    case Kind::kCapsule: {
-      // Segment along local y of half-length ry, radius rx.
-      const double t = std::clamp(ly, -ry, ry);
-      const double dx2 = lx * lx + (ly - t) * (ly - t);
-      return dx2 <= rx * rx;
-    }
-  }
-  return false;
-}
-
-void rasterize_obstacles(const std::vector<Obstacle>& obstacles,
-                         fluid::FlagGrid* flags) {
-  const int nx = flags->nx();
-  const int ny = flags->ny();
-  const double dx = 1.0 / nx;
-  for (int j = 0; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      if (flags->at(i, j) != fluid::CellType::kFluid) {
-        continue;
-      }
-      const double x = (i + 0.5) * dx;
-      const double y = (j + 0.5) * dx;
-      for (const auto& ob : obstacles) {
-        if (ob.contains(x, y)) {
-          flags->set(i, j, fluid::CellType::kSolid);
-          break;
-        }
-      }
-    }
-  }
-}
 
 std::vector<Obstacle> random_obstacles(int count, util::Rng& rng) {
   std::vector<Obstacle> obstacles;

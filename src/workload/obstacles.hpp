@@ -1,36 +1,21 @@
 #pragma once
 
-#include "fluid/flags.hpp"
+#include "fluid/scene.hpp"
 #include "util/rng.hpp"
 
 #include <vector>
 
 namespace sfn::workload {
 
-/// Procedural obstacle placed in the simulation domain (world units over
-/// the unit square). Substitutes for the NTU 3D Model Dataset objects the
-/// paper rasterises into occupancy grids: what matters downstream is that
-/// problems differ in solid geometry, which shapes the pressure field.
-struct Obstacle {
-  enum class Kind { kCircle, kBox, kCapsule };
-  Kind kind = Kind::kCircle;
-  double cx = 0.5;
-  double cy = 0.5;
-  double rx = 0.1;   ///< Radius / half-width.
-  double ry = 0.1;   ///< Half-height (capsule: segment half-length).
-  double angle = 0;  ///< Rotation (box/capsule), radians.
+// The obstacle geometry (and its rasteriser) lives in the fluid layer so
+// SmokeSim can re-rasterise moving obstacles per step; the workload layer
+// keeps the procedural generation. These aliases preserve the historical
+// workload::Obstacle spelling for existing call sites.
+using Obstacle = fluid::Obstacle;
+using fluid::rasterize_obstacles;
 
-  /// True if the world point (x, y) lies inside the obstacle.
-  [[nodiscard]] bool contains(double x, double y) const;
-};
-
-/// Rasterise obstacles into an existing flag grid (fluid cells whose
-/// centre falls inside any obstacle become solid).
-void rasterize_obstacles(const std::vector<Obstacle>& obstacles,
-                         fluid::FlagGrid* flags);
-
-/// Draw `count` random non-degenerate obstacles placed away from the
-/// bottom smoke source region.
+/// Draw `count` random non-degenerate static obstacles placed away from
+/// the bottom smoke source region.
 std::vector<Obstacle> random_obstacles(int count, util::Rng& rng);
 
 }  // namespace sfn::workload

@@ -1,5 +1,7 @@
 #include "workload/problems.hpp"
 
+#include <cmath>
+
 namespace sfn::workload {
 
 std::vector<InputProblem> generate_problems(int count,
@@ -39,15 +41,99 @@ std::vector<InputProblem> generate_problems(int count,
   return problems;
 }
 
+void apply_domain_edges(const DomainEdges& edges, fluid::FlagGrid* flags) {
+  const int nx = flags->nx();
+  const int ny = flags->ny();
+  // Open edges first; wall edges then overwrite the shared corner cells,
+  // which keeps the default spec identical to set_smoke_box_boundary.
+  const auto stamp_row = [&](int j, fluid::CellType t) {
+    for (int i = 0; i < nx; ++i) {
+      flags->set(i, j, t);
+    }
+  };
+  const auto stamp_col = [&](int i, fluid::CellType t) {
+    for (int j = 0; j < ny; ++j) {
+      flags->set(i, j, t);
+    }
+  };
+  using fluid::CellType;
+  if (edges.bottom == EdgeType::kOpen) stamp_row(0, CellType::kEmpty);
+  if (edges.top == EdgeType::kOpen) stamp_row(ny - 1, CellType::kEmpty);
+  if (edges.left == EdgeType::kOpen) stamp_col(0, CellType::kEmpty);
+  if (edges.right == EdgeType::kOpen) stamp_col(nx - 1, CellType::kEmpty);
+  if (edges.bottom == EdgeType::kWall) stamp_row(0, CellType::kSolid);
+  if (edges.top == EdgeType::kWall) stamp_row(ny - 1, CellType::kSolid);
+  if (edges.left == EdgeType::kWall) stamp_col(0, CellType::kSolid);
+  if (edges.right == EdgeType::kWall) stamp_col(nx - 1, CellType::kSolid);
+}
+
+void add_vortex_blobs(const std::vector<VortexBlob>& blobs,
+                      fluid::MacGrid2* vel) {
+  if (blobs.empty()) {
+    return;
+  }
+  const int nx = vel->nx();
+  const int ny = vel->ny();
+  const double dx = 1.0 / nx;
+
+  // Same idiom as fill_turbulent_velocity: sample a stream function at
+  // grid nodes and take node differences, so the discrete divergence of
+  // the added field telescopes to exactly zero. For a Gaussian blob
+  // psi(r) = 0.5 * strength * radius * exp(-(r/radius)^2), the peak
+  // tangential speed is strength * exp(-1/2) / sqrt(2) ~ 0.43 * strength.
+  fluid::GridD psi(nx + 1, ny + 1, 0.0);
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      const double x = i * dx;
+      const double y = j * dx;
+      double value = 0.0;
+      for (const auto& blob : blobs) {
+        const double r2 = (x - blob.cx) * (x - blob.cx) +
+                          (y - blob.cy) * (y - blob.cy);
+        value += 0.5 * blob.strength * blob.radius *
+                 std::exp(-r2 / (blob.radius * blob.radius));
+      }
+      psi(i, j) = value;
+    }
+  }
+
+  // u = d(psi)/dy, v = -d(psi)/dx via node differences over dx.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      vel->u()(i, j) +=
+          static_cast<float>((psi(i, j + 1) - psi(i, j)) / dx);
+    }
+  }
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      vel->v()(i, j) +=
+          static_cast<float>(-(psi(i + 1, j) - psi(i, j)) / dx);
+    }
+  }
+}
+
 fluid::SmokeSim make_sim(const InputProblem& problem) {
   fluid::FlagGrid flags(problem.nx, problem.ny, fluid::CellType::kFluid);
-  flags.set_smoke_box_boundary();
-  rasterize_obstacles(problem.obstacles, &flags);
+  apply_domain_edges(problem.edges, &flags);
+  fluid::stamp_inflow_cells(problem.inflows, &flags);
 
-  fluid::SmokeSim sim(problem.sim, std::move(flags));
+  std::vector<Obstacle> static_obstacles;
+  fluid::SceneSpec scene;
+  scene.inflows = problem.inflows;
+  for (const auto& ob : problem.obstacles) {
+    if (ob.is_moving()) {
+      scene.moving_obstacles.push_back(ob);
+    } else {
+      static_obstacles.push_back(ob);
+    }
+  }
+  rasterize_obstacles(static_obstacles, &flags);
+
+  fluid::SmokeSim sim(problem.sim, std::move(flags), std::move(scene));
   sim.sources() = problem.sources;
   fill_turbulent_velocity(problem.turbulence, problem.seed, &sim.velocity());
-  sim.velocity().enforce_solid_boundaries(sim.flags());
+  add_vortex_blobs(problem.vortices, &sim.velocity());
+  sim.pin_boundary_velocities();
   sim.apply_sources();
   return sim;
 }

@@ -9,10 +9,39 @@
 
 namespace sfn::workload {
 
+/// Per-edge boundary condition of the unit-square domain.
+enum class EdgeType : std::uint8_t {
+  kWall = 0,  ///< Solid border cells (u.n = 0).
+  kOpen = 1,  ///< Empty border cells (Dirichlet p = 0, outflow).
+};
+
+/// Boundary spec for the four domain edges. The default (solid
+/// left/right/bottom, open top) reproduces the classic smoke box of
+/// FlagGrid::set_smoke_box_boundary cell-for-cell.
+struct DomainEdges {
+  EdgeType left = EdgeType::kWall;
+  EdgeType right = EdgeType::kWall;
+  EdgeType bottom = EdgeType::kWall;
+  EdgeType top = EdgeType::kOpen;
+};
+
+/// Gaussian vortex blob added to the initial velocity through a node
+/// stream function, so the contribution is exactly divergence-free at
+/// the discrete level. Peak tangential speed is about 0.43 * strength;
+/// negative strength flips the rotation sense.
+struct VortexBlob {
+  double cx = 0.5;
+  double cy = 0.5;
+  double radius = 0.1;   ///< Core radius (world units).
+  double strength = 1.0;
+};
+
 /// A self-contained, resolution-independent description of one input
 /// problem: seed-derived turbulence, obstacles and emitter settings. The
 /// paper's evaluation draws 20,480 of these; ours come from
-/// `ProblemSet::generate` with any count.
+/// `ProblemSet::generate` with any count. Obstacles with rigid-body
+/// motion, inflow bands, vortex blobs and non-default edges come from
+/// the adversarial scene families (workload/scenes.hpp).
 struct InputProblem {
   std::uint64_t seed = 0;
   int nx = 64;
@@ -20,7 +49,10 @@ struct InputProblem {
   int steps = 48;  ///< Simulation length (paper default: 128).
   fluid::SmokeParams sim;
   TurbulenceParams turbulence;
-  std::vector<Obstacle> obstacles;
+  DomainEdges edges;
+  std::vector<Obstacle> obstacles;  ///< Static and moving (vx/vy/omega).
+  std::vector<fluid::InflowRegion> inflows;
+  std::vector<VortexBlob> vortices;
   std::vector<fluid::SmokeSource> sources;
 };
 
@@ -38,8 +70,19 @@ std::vector<InputProblem> generate_problems(int count,
                                             const ProblemSetParams& params,
                                             std::uint64_t master_seed);
 
-/// Build the initial simulation state for a problem: smoke-box boundary,
-/// rasterised obstacles, turbulent initial velocity, emitter stamped once.
+/// Stamp the per-edge boundary spec onto the border cells (open edges
+/// first so wall edges own the shared corners).
+void apply_domain_edges(const DomainEdges& edges, fluid::FlagGrid* flags);
+
+/// Superimpose vortex blobs onto `vel` via node stream-function
+/// differences (same discretisation as fill_turbulent_velocity).
+void add_vortex_blobs(const std::vector<VortexBlob>& blobs,
+                      fluid::MacGrid2* vel);
+
+/// Build the initial simulation state for a problem: domain edges, inflow
+/// bands, rasterised static obstacles, moving obstacles handed to the sim
+/// as a SceneSpec, turbulent + vortex initial velocity, emitter stamped
+/// once.
 fluid::SmokeSim make_sim(const InputProblem& problem);
 
 }  // namespace sfn::workload

@@ -1,0 +1,210 @@
+#include "workload/scenes.hpp"
+
+namespace sfn::workload {
+
+namespace {
+
+// Per-family seed salt: the same user seed must never produce the same
+// problem identity (p.seed drives turbulence noise and the scene hash)
+// across two families.
+std::uint64_t family_salt(SceneFamily family) {
+  switch (family) {
+    case SceneFamily::kVortexRing: return 0x766f727465780001ull;
+    case SceneFamily::kShearLayer: return 0x7368656172000002ull;
+    case SceneFamily::kJetObstacle: return 0x6a65740000000003ull;
+    case SceneFamily::kMovingObstacle: return 0x6d6f76696e670004ull;
+  }
+  return 0;
+}
+
+InputProblem base_problem(const SceneParams& params, util::Rng* rng) {
+  InputProblem p;
+  p.seed = (*rng)();
+  p.nx = params.grid;
+  p.ny = params.grid;
+  p.steps = params.steps;
+  p.sources.clear();
+  return p;
+}
+
+/// Counter-rotating Gaussian vortex pair (the 2-D analogue of a vortex
+/// ring) that self-propels upward through a weak ambient field; a small
+/// low-velocity emitter underneath seeds the smoke the pair entrains.
+InputProblem make_vortex_ring(std::uint64_t seed, const SceneParams& params) {
+  util::Rng rng(seed ^ family_salt(SceneFamily::kVortexRing));
+  InputProblem p = base_problem(params, &rng);
+
+  p.turbulence.amplitude = rng.uniform(0.02, 0.05);
+  p.turbulence.octaves = static_cast<int>(rng.uniform_int(2, 3));
+  p.turbulence.base_frequency = rng.uniform(3.0, 5.0);
+  p.sim.buoyancy = rng.uniform(0.3, 0.8);
+
+  const double cx = rng.uniform(0.42, 0.58);
+  const double cy = rng.uniform(0.25, 0.4);
+  const double separation = rng.uniform(0.08, 0.12);
+  const double radius = rng.uniform(0.06, 0.1);
+  const double strength = rng.uniform(0.8, 1.6);
+  // Left lobe clockwise (+), right lobe counter-clockwise (-): the
+  // induced flow between the lobes points up, so the pair rises.
+  p.vortices.push_back({cx - separation, cy, radius, strength});
+  p.vortices.push_back({cx + separation, cy, radius, -strength});
+
+  fluid::SmokeSource source;
+  source.cx = cx;
+  source.cy = rng.uniform(0.08, 0.12);
+  source.radius = 0.05;
+  source.density = 1.0;
+  source.velocity = rng.uniform(0.15, 0.3);
+  p.sources = {source};
+  return p;
+}
+
+/// Kelvin-Helmholtz style shear: two stacked inflow bands on the left
+/// edge with different speeds (smoke marks the fast stream), outflow
+/// through an open right edge, walls top and bottom.
+InputProblem make_shear_layer(std::uint64_t seed, const SceneParams& params) {
+  util::Rng rng(seed ^ family_salt(SceneFamily::kShearLayer));
+  InputProblem p = base_problem(params, &rng);
+
+  p.edges.left = EdgeType::kWall;   // Overwritten by the inflow bands.
+  p.edges.right = EdgeType::kOpen;
+  p.edges.bottom = EdgeType::kWall;
+  p.edges.top = EdgeType::kWall;
+
+  p.turbulence.amplitude = rng.uniform(0.02, 0.06);
+  p.turbulence.octaves = static_cast<int>(rng.uniform_int(2, 3));
+  p.turbulence.base_frequency = rng.uniform(3.0, 5.0);
+  p.sim.buoyancy = rng.uniform(0.1, 0.4);
+
+  const double mid = rng.uniform(0.4, 0.6);
+  const double u_slow = rng.uniform(0.2, 0.4);
+  const double u_fast = rng.uniform(0.8, 1.4);
+  // Band depth 0.05 covers the left border cell centres at grid >= 16.
+  fluid::InflowRegion lower{0.0, 0.08, 0.05, mid, u_slow, 0.0, 0.0};
+  fluid::InflowRegion upper{0.0, mid, 0.05, 0.92, u_fast, 0.0, 1.0};
+  p.inflows = {lower, upper};
+  return p;
+}
+
+/// Bottom jet inlet blowing smoke upward against a static obstacle in
+/// its path; top edge open so the deflected jet can leave.
+InputProblem make_jet_obstacle(std::uint64_t seed, const SceneParams& params) {
+  util::Rng rng(seed ^ family_salt(SceneFamily::kJetObstacle));
+  InputProblem p = base_problem(params, &rng);
+
+  p.turbulence.amplitude = rng.uniform(0.02, 0.06);
+  p.turbulence.octaves = static_cast<int>(rng.uniform_int(2, 3));
+  p.turbulence.base_frequency = rng.uniform(3.0, 5.0);
+  p.sim.buoyancy = rng.uniform(0.5, 1.5);
+
+  const double jet_cx = rng.uniform(0.35, 0.65);
+  const double half_width = rng.uniform(0.06, 0.12);
+  const double jet_v = rng.uniform(0.9, 1.5);
+  // Slot depth 0.07 covers the bottom border cell centres at grid >= 8.
+  p.inflows = {{jet_cx - half_width, 0.0, jet_cx + half_width, 0.07, 0.0,
+                jet_v, 1.0}};
+
+  Obstacle ob;
+  ob.kind = rng.uniform_int(0, 1) == 0 ? Obstacle::Kind::kCircle
+                                       : Obstacle::Kind::kBox;
+  ob.cx = jet_cx + rng.uniform(-0.05, 0.05);
+  ob.cy = rng.uniform(0.35, 0.55);
+  ob.rx = rng.uniform(0.07, 0.11);
+  ob.ry = rng.uniform(0.07, 0.11);
+  ob.angle = rng.uniform(0.0, 1.5707963267948966);
+  p.obstacles = {ob};
+  return p;
+}
+
+/// Classic plume with a rotating (optionally drifting) obstacle above
+/// the emitter: the flags change every step and the solid faces carry
+/// the obstacle's rigid-body velocity.
+InputProblem make_moving_obstacle(std::uint64_t seed,
+                                  const SceneParams& params) {
+  util::Rng rng(seed ^ family_salt(SceneFamily::kMovingObstacle));
+  InputProblem p = base_problem(params, &rng);
+
+  p.turbulence.amplitude = rng.uniform(0.05, 0.15);
+  p.turbulence.octaves = static_cast<int>(rng.uniform_int(2, 4));
+  p.turbulence.base_frequency = rng.uniform(3.0, 6.0);
+  p.sim.buoyancy = rng.uniform(1.0, 2.0);
+
+  Obstacle ob;
+  if (rng.uniform_int(0, 1) == 0) {
+    ob.kind = Obstacle::Kind::kBox;
+    ob.rx = rng.uniform(0.08, 0.16);
+    ob.ry = rng.uniform(0.08, 0.16);
+  } else {
+    ob.kind = Obstacle::Kind::kCapsule;
+    ob.rx = rng.uniform(0.05, 0.08);
+    ob.ry = rng.uniform(0.1, 0.18);
+  }
+  ob.cx = rng.uniform(0.4, 0.6);
+  ob.cy = rng.uniform(0.45, 0.58);
+  ob.angle = rng.uniform(0.0, 3.14159265358979);
+  ob.omega = (rng.uniform_int(0, 1) == 0 ? 1.0 : -1.0) *
+             rng.uniform(0.8, 1.6);
+  ob.vx = rng.uniform(-0.06, 0.06);
+  p.obstacles = {ob};
+
+  fluid::SmokeSource source;
+  source.cx = rng.uniform(0.4, 0.6);
+  source.cy = rng.uniform(0.1, 0.14);
+  source.radius = rng.uniform(0.06, 0.09);
+  source.density = 1.0;
+  source.velocity = rng.uniform(0.4, 0.7);
+  p.sources = {source};
+  return p;
+}
+
+}  // namespace
+
+std::vector<SceneFamily> all_scene_families() {
+  return {SceneFamily::kVortexRing, SceneFamily::kShearLayer,
+          SceneFamily::kJetObstacle, SceneFamily::kMovingObstacle};
+}
+
+const char* to_string(SceneFamily family) {
+  switch (family) {
+    case SceneFamily::kVortexRing: return "vortex_ring";
+    case SceneFamily::kShearLayer: return "shear_layer";
+    case SceneFamily::kJetObstacle: return "jet_obstacle";
+    case SceneFamily::kMovingObstacle: return "moving_obstacle";
+  }
+  return "unknown";
+}
+
+std::optional<SceneFamily> scene_family_from_string(std::string_view name) {
+  for (const SceneFamily family : all_scene_families()) {
+    if (name == to_string(family)) {
+      return family;
+    }
+  }
+  return std::nullopt;
+}
+
+InputProblem make_scene(SceneFamily family, std::uint64_t seed,
+                        const SceneParams& params) {
+  switch (family) {
+    case SceneFamily::kVortexRing: return make_vortex_ring(seed, params);
+    case SceneFamily::kShearLayer: return make_shear_layer(seed, params);
+    case SceneFamily::kJetObstacle: return make_jet_obstacle(seed, params);
+    case SceneFamily::kMovingObstacle:
+      return make_moving_obstacle(seed, params);
+  }
+  return InputProblem{};
+}
+
+std::vector<InputProblem> generate_family_problems(
+    SceneFamily family, int count, const SceneParams& params,
+    std::uint64_t master_seed) {
+  util::Rng master(master_seed ^ family_salt(family));
+  std::vector<InputProblem> problems;
+  problems.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    problems.push_back(make_scene(family, master(), params));
+  }
+  return problems;
+}
+
+}  // namespace sfn::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "workload/problems.hpp"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sfn::workload {
+
+/// Adversarial scene families (ROADMAP "adversarial scenario expansion").
+/// Each family is a deterministic seed-parameterised generator of
+/// InputProblems that stresses a regime the static smoke box never
+/// reaches: vortex-dominated transport, inflow-driven shear, jets around
+/// obstacles, and moving solid boundaries. Every family registered here
+/// must carry a golden fixture under tests/golden/ (lint rule R11).
+enum class SceneFamily {
+  kVortexRing = 0,     ///< Counter-rotating vortex pair in a closed box.
+  kShearLayer = 1,     ///< Two-speed left inflow, open right edge.
+  kJetObstacle = 2,    ///< Bottom jet inlet against a static obstacle.
+  kMovingObstacle = 3, ///< Plume with a rotating/translating obstacle.
+};
+
+/// All families, in enum order (bench/test sweeps iterate this).
+std::vector<SceneFamily> all_scene_families();
+
+/// Stable snake_case name ("vortex_ring", ...); golden fixtures and bench
+/// table rows are keyed on it.
+const char* to_string(SceneFamily family);
+
+/// Inverse of to_string; nullopt for unknown names (used by the
+/// SFN_SCENE_FAMILIES filter).
+std::optional<SceneFamily> scene_family_from_string(std::string_view name);
+
+/// Size knobs shared by every family generator.
+struct SceneParams {
+  int grid = 32;
+  int steps = 48;
+};
+
+/// Deterministically derive one problem of `family` from `seed`: equal
+/// (family, seed, params) always yields an identical InputProblem, and
+/// distinct families never collide on the same seed.
+InputProblem make_scene(SceneFamily family, std::uint64_t seed,
+                        const SceneParams& params = {});
+
+/// Deterministically generate `count` problems of one family from a
+/// master seed (fork-per-problem, like generate_problems).
+std::vector<InputProblem> generate_family_problems(
+    SceneFamily family, int count, const SceneParams& params,
+    std::uint64_t master_seed);
+
+}  // namespace sfn::workload

@@ -157,6 +157,37 @@ TEST(Checkpoint, RestartPhaseSurvivesSuspendRestore) {
   expect_same_run(uninterrupted, finished, "restart-phase suspend/restore");
 }
 
+TEST(Checkpoint, MovingObstacleSuspendRestoreIsBitIdentical) {
+  // Mid-motion suspend: the checkpoint stores no flag grid — flags are a
+  // pure function of (scene, steps_completed) — so the restore must
+  // re-rasterise the obstacle at the suspended pose without perturbing
+  // the saved density (restore never clears newly covered cells; the
+  // next step's idempotent refresh at the same time does).
+  const auto artifacts = test::make_test_artifacts();
+  const auto problem = workload::make_scene(
+      workload::SceneFamily::kMovingObstacle, 7700, {16, 20});
+
+  core::SessionStepper reference(problem, artifacts);
+  const auto uninterrupted = run_to_end(&reference);
+
+  for (const int at : {3, 8, 13}) {
+    core::SessionStepper suspended(problem, artifacts);
+    for (int i = 0; i < at; ++i) {
+      ASSERT_EQ(suspended.step(), core::SessionStepper::Status::kRunning);
+    }
+    const auto file = temp_checkpoint("sfn_ckpt_moving.bin");
+    core::save_session_checkpoint(suspended, file);
+    core::SessionStepper resumed(problem, artifacts);
+    core::load_session_checkpoint(&resumed, file);
+    EXPECT_EQ(resumed.steps_completed(), at);
+    const auto finished = run_to_end(&resumed);
+    std::filesystem::remove(file);
+    expect_same_run(uninterrupted, finished,
+                    "moving obstacle suspended at step " +
+                        std::to_string(at));
+  }
+}
+
 TEST(Checkpoint, RestoreRejectsMismatchedProblem) {
   const auto artifacts = test::make_test_artifacts();
   core::SessionStepper source(test::make_test_problem(7300, 16, 12),

@@ -69,6 +69,14 @@ class ServeDeterminism : public ::testing::Test {
     for (std::uint64_t seed : {7u, 8u, 9u, 10u}) {
       problems_.push_back(test::make_test_problem(seed));
     }
+    // Adversarial scenes ride through every determinism check below: a
+    // rotating obstacle re-rasterises flags each step and a shear layer
+    // exercises inflow/outflow faces — both must stay bit-identical
+    // across worker counts, scheduler modes and OpenMP team sizes.
+    problems_.push_back(workload::make_scene(
+        workload::SceneFamily::kMovingObstacle, 4242, {16, 12}));
+    problems_.push_back(workload::make_scene(
+        workload::SceneFamily::kShearLayer, 4343, {16, 12}));
   }
   static void TearDownTestSuite() {
     delete artifacts_;

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/fallback.hpp"
 #include "util/rng.hpp"
+#include "workload/scenes.hpp"
 
 #include <gtest/gtest.h>
 
@@ -196,6 +197,60 @@ TEST(FaultInjection, PersistentFaultsQuarantineThenDegradeToExactSolver) {
             0.0);
   // Exhaustion is logged as the kRestartPcg last resort in the decision
   // trace, but it is a degradation, not a restart.
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_EQ(result.events.back().decision, runtime::Decision::kRestartPcg);
+}
+
+// --- Adversarial scene families under fault injection ---------------------
+//
+// The degradation ladder must behave identically when the scene itself is
+// adversarial: per-step flag re-rasterisation (moving obstacle) and
+// inflow/outflow boundaries (shear layer) add no extra pressure solves,
+// so the injected-fault arithmetic of the plume tests carries over
+// unchanged — one solver call per step, nothing else ever touches the
+// decorated solver.
+
+TEST(FaultInjection, MovingObstacleSceneAbsorbsSporadicFaults) {
+  obs::reset_metrics();
+  CorruptingSolver::Shared shared;
+  const auto artifacts = make_artifacts();
+  const auto problem = workload::make_scene(
+      workload::SceneFamily::kMovingObstacle, /*seed=*/19, {24, 24});
+  const auto result = core::run_adaptive(
+      problem, artifacts, make_config(/*every=*/9, Fault::kNan, &shared));
+
+  EXPECT_EQ(shared.injected, 2);
+  EXPECT_FALSE(result.restarted_with_pcg);
+  EXPECT_TRUE(all_finite(result.final_density));
+  EXPECT_EQ(result.fallback_steps, 2);
+  EXPECT_EQ(obs::counter("runtime.fallbacks").value(), 2u);
+  EXPECT_EQ(obs::counter("runtime.quarantines").value(), 0u);
+  EXPECT_TRUE(result.quarantined_models.empty());
+  ASSERT_EQ(result.model_per_step.size(),
+            static_cast<std::size_t>(problem.steps));
+}
+
+TEST(FaultInjection, ShearLayerPersistentFaultsQuarantineThenDegrade) {
+  obs::reset_metrics();
+  CorruptingSolver::Shared shared;
+  const auto artifacts = make_artifacts();
+  const auto problem = workload::make_scene(
+      workload::SceneFamily::kShearLayer, /*seed=*/23, {24, 20});
+  const auto result = core::run_adaptive(
+      problem, artifacts, make_config(/*every=*/1, Fault::kSpike, &shared));
+
+  EXPECT_FALSE(result.restarted_with_pcg);
+  EXPECT_TRUE(all_finite(result.final_density));
+  EXPECT_EQ(obs::counter("runtime.quarantines").value(), 2u);
+  EXPECT_EQ(result.quarantined_models.size(), 2u);
+  EXPECT_EQ(result.fallback_steps, 6);
+  EXPECT_EQ(obs::counter("runtime.fallbacks").value(), 6u);
+  ASSERT_EQ(result.model_per_step.size(),
+            static_cast<std::size_t>(problem.steps));
+  for (std::size_t step = 6; step < result.model_per_step.size(); ++step) {
+    EXPECT_EQ(result.model_per_step[step], core::SessionResult::kPcgModelId)
+        << "step " << step;
+  }
   ASSERT_FALSE(result.events.empty());
   EXPECT_EQ(result.events.back().decision, runtime::Decision::kRestartPcg);
 }

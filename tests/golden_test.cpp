@@ -1,5 +1,6 @@
-// Golden-trajectory regression tests: three canonical problems are
-// simulated with a pinned synthetic surrogate and their per-step DivNorm,
+// Golden-trajectory regression tests: the canonical problems (three
+// plumes plus one scene per adversarial family) are simulated with a
+// pinned synthetic surrogate and their per-step DivNorm,
 // CumDivNorm and final Qloss are checked against committed baselines in
 // tests/golden/*.json. Any change to advection, projection, the reduction
 // order or the telemetry plumbing that shifts the numbers the controller
@@ -78,6 +79,23 @@ core::OfflineArtifacts* GoldenTrajectories::artifacts_ = nullptr;
 TEST_F(GoldenTrajectories, Plume16) { run_case(canonical_golden_cases()[0]); }
 TEST_F(GoldenTrajectories, Plume24) { run_case(canonical_golden_cases()[1]); }
 TEST_F(GoldenTrajectories, Plume32) { run_case(canonical_golden_cases()[2]); }
+
+// One pinned trajectory per adversarial scene family: inflow bands, open
+// boundaries, vortex dipoles and per-step obstacle re-rasterisation all
+// feed the recorded DivNorm/CumDivNorm stream, so a regression in any of
+// those code paths diffs against its family baseline here.
+TEST_F(GoldenTrajectories, VortexRing16) {
+  run_case(canonical_golden_cases()[3]);
+}
+TEST_F(GoldenTrajectories, ShearLayer16) {
+  run_case(canonical_golden_cases()[4]);
+}
+TEST_F(GoldenTrajectories, JetObstacle16) {
+  run_case(canonical_golden_cases()[5]);
+}
+TEST_F(GoldenTrajectories, MovingObstacle16) {
+  run_case(canonical_golden_cases()[6]);
+}
 
 TEST_F(GoldenTrajectories, RecorderIsSelfConsistent) {
   // The recorder itself must be deterministic, or the baselines would be

@@ -13,6 +13,7 @@
 #include "modelgen/arch_spec.hpp"
 #include "util/rng.hpp"
 #include "workload/problems.hpp"
+#include "workload/scenes.hpp"
 
 #include <cstdint>
 #include <string>
@@ -91,20 +92,32 @@ inline workload::InputProblem make_test_problem(std::uint64_t seed,
   return workload::generate_problems(1, params, seed)[0];
 }
 
-/// The three canonical problems whose trajectories are pinned under
+/// The canonical problems whose trajectories are pinned under
 /// tests/golden/. Shared between golden_test (record/check) and
 /// persistence_test (loaded artifacts must reproduce the same baseline),
-/// always simulated with make_test_artifacts().library[0].
+/// always simulated with make_test_artifacts().library[0]. Each scene
+/// family contributes one case; lint rule R11 checks that every family
+/// name registered in src/workload/scenes.cpp appears here (matched via
+/// the fixture filename, which embeds the case name).
 struct GoldenCase {
   std::string name;
   workload::InputProblem problem;
 };
 
 inline std::vector<GoldenCase> canonical_golden_cases() {
+  using workload::SceneFamily;
   return {
       {"plume16", make_test_problem(101, /*grid=*/16, /*steps=*/24)},
       {"plume24", make_test_problem(202, /*grid=*/24, /*steps=*/24)},
       {"plume32", make_test_problem(303, /*grid=*/32, /*steps=*/16)},
+      {"vortex_ring16",
+       workload::make_scene(SceneFamily::kVortexRing, 404, {16, 20})},
+      {"shear_layer16",
+       workload::make_scene(SceneFamily::kShearLayer, 505, {16, 20})},
+      {"jet_obstacle16",
+       workload::make_scene(SceneFamily::kJetObstacle, 606, {16, 20})},
+      {"moving_obstacle16",
+       workload::make_scene(SceneFamily::kMovingObstacle, 707, {16, 20})},
   };
 }
 

@@ -4,11 +4,14 @@
 #include "workload/evaluate.hpp"
 #include "workload/obstacles.hpp"
 #include "workload/problems.hpp"
+#include "workload/scenes.hpp"
 #include "workload/turbulence.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 namespace sfn {
 namespace {
@@ -205,6 +208,111 @@ TEST(Evaluate, SloppySolverHasQualityLoss) {
     return std::make_unique<fluid::JacobiSolver>(rp);
   });
   EXPECT_GT(eval.mean_quality_loss, 1e-5);
+}
+
+void expect_same_problem(const InputProblem& a, const InputProblem& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.seed, b.seed) << label;
+  EXPECT_EQ(a.nx, b.nx) << label;
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_DOUBLE_EQ(a.turbulence.amplitude, b.turbulence.amplitude) << label;
+  EXPECT_DOUBLE_EQ(a.sim.buoyancy, b.sim.buoyancy) << label;
+  EXPECT_EQ(static_cast<int>(a.edges.right), static_cast<int>(b.edges.right))
+      << label;
+  ASSERT_EQ(a.obstacles.size(), b.obstacles.size()) << label;
+  for (std::size_t k = 0; k < a.obstacles.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.obstacles[k].cx, b.obstacles[k].cx) << label;
+    EXPECT_DOUBLE_EQ(a.obstacles[k].omega, b.obstacles[k].omega) << label;
+    EXPECT_DOUBLE_EQ(a.obstacles[k].vx, b.obstacles[k].vx) << label;
+  }
+  ASSERT_EQ(a.inflows.size(), b.inflows.size()) << label;
+  for (std::size_t k = 0; k < a.inflows.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.inflows[k].u, b.inflows[k].u) << label;
+    EXPECT_DOUBLE_EQ(a.inflows[k].v, b.inflows[k].v) << label;
+    EXPECT_DOUBLE_EQ(a.inflows[k].smoke, b.inflows[k].smoke) << label;
+  }
+  ASSERT_EQ(a.vortices.size(), b.vortices.size()) << label;
+  for (std::size_t k = 0; k < a.vortices.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.vortices[k].strength, b.vortices[k].strength)
+        << label;
+  }
+  ASSERT_EQ(a.sources.size(), b.sources.size()) << label;
+  for (std::size_t k = 0; k < a.sources.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.sources[k].cx, b.sources[k].cx) << label;
+  }
+}
+
+TEST(SceneFamilies, GeneratorsAreSeedDeterministic) {
+  const workload::SceneParams params{24, 16};
+  for (const auto family : workload::all_scene_families()) {
+    const std::string label = workload::to_string(family);
+    expect_same_problem(workload::make_scene(family, 1234, params),
+                        workload::make_scene(family, 1234, params), label);
+    const auto batch_a =
+        workload::generate_family_problems(family, 3, params, 55);
+    const auto batch_b =
+        workload::generate_family_problems(family, 3, params, 55);
+    ASSERT_EQ(batch_a.size(), 3u) << label;
+    for (std::size_t k = 0; k < batch_a.size(); ++k) {
+      expect_same_problem(batch_a[k], batch_b[k], label);
+    }
+    // Different seeds must give different problem identities.
+    EXPECT_NE(batch_a[0].seed, batch_a[1].seed) << label;
+    EXPECT_NE(workload::make_scene(family, 1234, params).seed,
+              workload::make_scene(family, 1235, params).seed)
+        << label;
+  }
+}
+
+TEST(SceneFamilies, FlagGridsAreSolvableAndNonSingular) {
+  // Every family at several seeds: fluid cells exist, at least one
+  // Dirichlet (empty) cell anchors the pressure system, and one exact
+  // solve converges on the initial state.
+  for (const auto family : workload::all_scene_families()) {
+    const std::string label = workload::to_string(family);
+    for (const std::uint64_t seed : {3u, 4u, 5u}) {
+      const auto problem = workload::make_scene(family, seed, {16, 8});
+      auto sim = workload::make_sim(problem);
+      EXPECT_GT(sim.flags().count_fluid(), 16) << label;
+      int empty_cells = 0;
+      for (int j = 0; j < sim.ny(); ++j) {
+        for (int i = 0; i < sim.nx(); ++i) {
+          empty_cells += sim.flags().is_empty(i, j) ? 1 : 0;
+        }
+      }
+      EXPECT_GT(empty_cells, 0) << label << " seed " << seed;
+      fluid::PcgSolver pcg;
+      const auto telemetry = sim.step(&pcg);
+      EXPECT_TRUE(telemetry.solve.converged) << label << " seed " << seed;
+    }
+  }
+}
+
+TEST(SceneFamilies, RoundTripNames) {
+  for (const auto family : workload::all_scene_families()) {
+    const auto parsed =
+        workload::scene_family_from_string(workload::to_string(family));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, family);
+  }
+  EXPECT_FALSE(workload::scene_family_from_string("nope").has_value());
+}
+
+TEST(Problems, DomainEdgesDefaultMatchesSmokeBox) {
+  fluid::FlagGrid classic(20, 20, fluid::CellType::kFluid);
+  classic.set_smoke_box_boundary();
+  fluid::FlagGrid edged(20, 20, fluid::CellType::kFluid);
+  workload::apply_domain_edges({}, &edged);
+  EXPECT_TRUE(classic == edged);
+}
+
+TEST(Problems, VortexBlobsAreDiscretelyDivergenceFree) {
+  const fluid::FlagGrid flags(32, 32, fluid::CellType::kFluid);
+  fluid::MacGrid2 vel(32, 32);
+  workload::add_vortex_blobs({{0.4, 0.5, 0.1, 1.2}, {0.6, 0.5, 0.1, -1.2}},
+                             &vel);
+  EXPECT_GT(vel.max_speed(), 0.1);
+  EXPECT_LT(fluid::max_divergence(vel, flags), 1e-4);
 }
 
 TEST(Evaluate, MismatchedReferencesThrow) {

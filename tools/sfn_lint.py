@@ -69,6 +69,14 @@ Mechanically enforceable project rules (see DESIGN.md §9):
                         src/obs/ would fracture the namespace the
                         exporter, /statz and the dashboards key on
                         (DESIGN.md §15).
+  R11 scene-family-golden
+                        Every scene family registered in
+                        src/workload/scenes.cpp (parsed from its
+                        to_string() switch) must have a golden-trajectory
+                        fixture under tests/golden/ whose file name
+                        contains the family name — new adversarial
+                        workloads ship with their regression baseline or
+                        not at all (DESIGN.md §17).
 
 Escape hatches are deliberate annotations, not config: append
 `// sfn-lint: allow-alloc` (R1), `// sfn-lint: safe-cast` (R3),
@@ -581,6 +589,42 @@ def rule_metric_name(root: pathlib.Path) -> None:
                             "(dotted lowercase, e.g. serve.queue_wait)")
 
 
+# R11: every scene family registered in src/workload/scenes.cpp must be
+# pinned by a golden-trajectory fixture under tests/golden/ whose file
+# name embeds the family name. A family without a golden baseline has no
+# regression net over its dedicated fluid capabilities (inflow faces,
+# per-step re-rasterisation), which is exactly where silent numerical
+# drift would hide.
+
+SCENE_FAMILY_NAME_RE = re.compile(
+    r'case\s+SceneFamily::k\w+\s*:\s*return\s+"([a-z0-9_]+)"')
+
+
+def rule_scene_family_golden(root: pathlib.Path) -> None:
+    scenes = root / "src" / "workload" / "scenes.cpp"
+    if not scenes.is_file():
+        return
+    names = SCENE_FAMILY_NAME_RE.findall(
+        scenes.read_text(encoding="utf-8"))
+    names = [n for n in names if n != "unknown"]
+    if not names:
+        report("scene-family-golden", scenes.relative_to(root), 1,
+               "no SceneFamily name registrations parsed from to_string() "
+               "— the rule's regex and the code have drifted apart")
+        return
+    golden_dir = root / "tests" / "golden"
+    fixtures = [p.name for p in golden_dir.glob("*.json")] \
+        if golden_dir.is_dir() else []
+    for name in names:
+        if not any(name in fixture for fixture in fixtures):
+            report(
+                "scene-family-golden", scenes.relative_to(root), 1,
+                f"scene family '{name}' has no golden fixture under "
+                "tests/golden/ (add a canonical case to "
+                "tests/serve_test_support.hpp and regenerate with "
+                "`golden_test --update-golden`)")
+
+
 # --------------------------------------------------------------------------
 # Optional clang-tidy pass (skipped when unavailable).
 
@@ -634,6 +678,7 @@ def main() -> int:
     rule_serve_isolation(root)
     rule_raw_intrinsics(root)
     rule_metric_name(root)
+    rule_scene_family_golden(root)
     mutex_mode = rule_raw_mutex(root, args.build_dir)
     if args.no_clang_tidy:
         tidy_status = "skipped (--no-clang-tidy)"
